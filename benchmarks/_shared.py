@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at the
+reduced ``ExperimentScale.bench()`` protocol (override with the
+REPRO_BENCH_SCALE / REPRO_BENCH_EPOCHS / REPRO_BENCH_RUNS environment
+variables).  Each run prints the rows/series the paper reports, side by
+side with the paper's numbers where applicable, and writes the same text
+to ``benchmarks/out/``.  Completed fine-tuning cells are cached in
+``.bench_cache`` so the table and figure benches share work.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.evaluation import ExperimentScale
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def bench_scale() -> ExperimentScale:
+    return ExperimentScale.bench()
+
+
+def emit(name: str, text: str) -> str:
+    """Print a result block and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+    return text
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

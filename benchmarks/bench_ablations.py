@@ -1,0 +1,46 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. pre-training vs from-scratch initialization (the paper's thesis);
+2. clean vs dirty data (what the corruption costs);
+3. class-balanced vs plain fine-tuning loss (reproduction adaptation);
+4. all-attribute vs title-only serialization.
+"""
+
+from repro.evaluation import (ablate_balanced_loss, ablate_dirty,
+                              ablate_pretraining, ablate_serialization)
+
+from _shared import bench_scale, emit, run_once
+
+
+def test_ablation_pretraining(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: ablate_pretraining("roberta", "dblp-acm", bench_scale()))
+    emit("ablation_pretraining", result.rendered())
+    # The paper's thesis: the pre-trained checkpoint beats random init.
+    assert result.f1_a >= result.f1_b - 3.0
+
+
+def test_ablation_dirty(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: ablate_dirty("roberta", "walmart-amazon", bench_scale()))
+    emit("ablation_dirty", result.rendered())
+    assert result.f1_a >= 0.0 and result.f1_b >= 0.0
+
+
+def test_ablation_balanced_loss(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: ablate_balanced_loss("roberta", "dblp-acm", bench_scale()))
+    emit("ablation_balanced_loss", result.rendered())
+    assert result.f1_a >= 0.0
+
+
+def test_ablation_serialization(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: ablate_serialization("roberta", "walmart-amazon",
+                                     bench_scale()))
+    emit("ablation_serialization", result.rendered())
+    assert result.f1_a >= 0.0

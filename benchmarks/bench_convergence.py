@@ -1,0 +1,39 @@
+"""Convergence analysis (§5.4): zero-shot vs per-epoch performance.
+
+Summarizes, per architecture, how many epochs fine-tuning needs to come
+within 5 F1 points of its peak on each dataset.  The paper's claim:
+within one epoch for most (dataset, architecture) cells; convergence by
+epoch 3-5.
+"""
+
+from repro.evaluation import (ALL_ARCHS, analyze_convergence, figure,
+                              FIGURE_DATASETS)
+from repro.utils import format_table
+
+from _shared import bench_scale, emit, run_once
+
+
+def _run():
+    scale = bench_scale()
+    rows = []
+    for number in sorted(FIGURE_DATASETS):
+        result = figure(number, scale)
+        for arch, cell in result.cells.items():
+            summary = analyze_convergence(cell)
+            rows.append([
+                result.dataset, arch,
+                f"{summary.zero_shot_f1:.1f}",
+                f"{summary.peak_f1:.1f}",
+                summary.epochs_to_within_5pct,
+                summary.convergence_epoch,
+            ])
+    return format_table(
+        ["Dataset", "Arch", "zero-shot F1", "peak F1",
+         "epochs to -5pts", "converged at"],
+        rows, title="Convergence summary (paper: ~1 epoch, converge 3-5)")
+
+
+def test_convergence(benchmark):
+    text = run_once(benchmark, _run)
+    emit("convergence", text)
+    assert "zero-shot" in text

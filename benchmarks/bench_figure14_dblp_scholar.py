@@ -1,0 +1,21 @@
+"""Figure 14 — F1 vs fine-tuning epoch on dblp-scholar.
+
+Reproduces the per-epoch test-F1 curves of all four architectures
+(epoch 0 = zero-shot).  Shape to verify: zero-shot is poor, F1 rises
+sharply after the first epoch, and the curves flatten within a few
+epochs — the paper's convergence story.
+"""
+
+from repro.evaluation import figure
+
+from _shared import bench_scale, emit, run_once
+
+
+def test_figure14_dblp_scholar(benchmark):
+    result = run_once(benchmark, lambda: figure(14, bench_scale()))
+    emit("figure14", result.rendered())
+    assert result.dataset == "dblp-scholar"
+    for arch, curve in result.curves.items():
+        assert len(curve) >= 2, arch
+        # fine-tuning must help over zero-shot
+        assert max(curve[1:]) >= curve[0] - 5.0, arch

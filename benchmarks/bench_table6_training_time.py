@@ -1,0 +1,20 @@
+"""Table 6 — fine-tuning wall-clock per epoch.
+
+Times one fine-tuning epoch of each architecture on each dataset.
+Absolute numbers are not comparable to the paper's TITAN Xp; the *ratios*
+are the reproduced quantity: DistilBERT ~ 0.5x BERT, RoBERTa ~ 1x BERT,
+XLNet > 1x BERT.
+"""
+
+from repro.evaluation import table6
+
+from _shared import bench_scale, emit, run_once
+
+
+def test_table6_training_time(benchmark):
+    scale = bench_scale()
+    seconds, rendered = run_once(benchmark, lambda: table6(scale))
+    emit("table6", rendered)
+    for dataset, per_arch in seconds.items():
+        assert per_arch["distilbert"] < per_arch["bert"], dataset
+        assert per_arch["xlnet"] > per_arch["distilbert"], dataset

@@ -1,0 +1,68 @@
+"""Scenario: integrating two product catalogs (the paper's Tables 1-2).
+
+Two retailers publish the same products with different schemas and
+conventions — one structured (title/brand/model/price), one mostly
+textual.  The pipeline fine-tunes a transformer matcher on labeled pairs
+and then sweeps a candidate table, producing the merged-catalog report a
+data-integration engineer would consume: matched pairs, conflicts, and
+per-decision probabilities.
+
+    python examples/catalog_deduplication.py
+"""
+
+import numpy as np
+
+from repro.data import load_benchmark, split_dataset
+from repro.matching import EntityMatcher, FineTuneConfig
+from repro.utils import child_rng, format_table
+
+
+def main() -> None:
+    print("Building the two-catalog matching task (Abt-Buy style, "
+          "textual) ...")
+    data = load_benchmark("abt-buy", seed=13, scale=0.06)
+    splits = split_dataset(data, child_rng(13, "split"))
+    print(f"  train {len(splits.train)} / validation "
+          f"{len(splits.validation)} / test {len(splits.test)} pairs")
+
+    matcher = EntityMatcher("bert",
+                            finetune_config=FineTuneConfig(epochs=4))
+    matcher.fit(splits.train, splits.test,
+                log=lambda m: print(f"  {m}"))
+
+    print("\nSweeping the test candidate table ...")
+    predictions = matcher.predict(splits.test)
+    labels = np.array(splits.test.labels())
+
+    rows = []
+    shown = 0
+    for pair, predicted, gold in zip(splits.test.pairs, predictions,
+                                     labels):
+        if shown >= 8:
+            break
+        if predicted == 1 or gold == 1:
+            probability = matcher.match_probability(pair.record_a,
+                                                    pair.record_b)
+            verdict = "MATCH" if predicted else "no match"
+            flag = "" if predicted == gold else "  <-- disagrees with gold"
+            rows.append([
+                pair.record_a.text_blob(
+                    data.serialization_attributes())[:38],
+                pair.record_b.text_blob(
+                    data.serialization_attributes())[:38],
+                f"{probability:.2f}", verdict + flag])
+            shown += 1
+    print(format_table(["Catalog A", "Catalog B", "P(match)", "decision"],
+                       rows, title="Merged-catalog decisions (sample)"))
+
+    metrics = matcher.evaluate(splits.test).as_percent()
+    kept = int(predictions.sum())
+    print(f"\n{kept} pairs linked across catalogs; "
+          f"F1 {metrics.f1:.1f} against gold labels "
+          f"({metrics.true_positives} correct links, "
+          f"{metrics.false_positives} spurious, "
+          f"{metrics.false_negatives} missed).")
+
+
+if __name__ == "__main__":
+    main()

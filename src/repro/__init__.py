@@ -1,0 +1,39 @@
+"""repro - full from-scratch reproduction of "Entity Matching with
+Transformer Architectures - A Step Forward in Data Integration"
+(Brunner & Stockinger, EDBT 2020).
+
+Layers (bottom-up):
+
+* :mod:`repro.nn` - numpy autodiff + layers/optimizers (the PyTorch
+  stand-in);
+* :mod:`repro.tokenizers` - WordPiece, byte-level BPE, unigram;
+* :mod:`repro.models` - BERT, RoBERTa, DistilBERT, XLNet;
+* :mod:`repro.pretraining` - corpora, MLM/NSP/PLM objectives,
+  distillation, and the cached model zoo;
+* :mod:`repro.data` - the five EM benchmarks as seeded generators, dirty
+  transform, splits;
+* :mod:`repro.matching` - the paper's contribution: pair serialization,
+  fine-tuning, :class:`repro.matching.EntityMatcher`;
+* :mod:`repro.baselines` - Magellan and DeepMatcher;
+* :mod:`repro.evaluation` - tables, figures, convergence, ablations.
+
+Quickstart::
+
+    from repro.matching import EntityMatcher
+    from repro.data import load_benchmark, split_dataset
+    from repro.utils import child_rng
+
+    data = load_benchmark("walmart-amazon", seed=7, scale=0.1)
+    splits = split_dataset(data, child_rng(7, "split"))
+    matcher = EntityMatcher("roberta")
+    matcher.fit(splits.train, splits.test)
+    print(matcher.evaluate(splits.test))
+"""
+
+__version__ = "1.0.0"
+
+from . import (baselines, data, evaluation, matching, models, nn,
+               pretraining, tokenizers, utils)
+
+__all__ = ["nn", "tokenizers", "models", "pretraining", "data", "matching",
+           "baselines", "evaluation", "utils", "__version__"]

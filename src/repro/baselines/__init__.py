@@ -1,0 +1,8 @@
+"""Baselines the paper compares against: Magellan and DeepMatcher."""
+
+from . import similarity
+from .deepmatcher import DeepMatcher, DeepMatcherConfig, DeepMatcherResult
+from .magellan import MagellanMatcher, MagellanResult
+
+__all__ = ["similarity", "MagellanMatcher", "MagellanResult",
+           "DeepMatcher", "DeepMatcherConfig", "DeepMatcherResult"]

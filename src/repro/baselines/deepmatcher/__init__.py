@@ -1,0 +1,10 @@
+"""DeepMatcher-style deep learning EM baseline (Mudgal et al., 2018)."""
+
+from .embeddings import WordEmbeddings, get_word_embeddings, train_sgns
+from .matcher import DeepMatcher, DeepMatcherConfig, DeepMatcherResult
+from .model import DeepMatcherModel, VARIANTS
+from .vocab import WordVocab
+
+__all__ = ["DeepMatcher", "DeepMatcherConfig", "DeepMatcherResult",
+           "DeepMatcherModel", "VARIANTS", "WordVocab",
+           "WordEmbeddings", "get_word_embeddings", "train_sgns"]

@@ -1,0 +1,153 @@
+"""Skip-gram word embeddings (word2vec SGNS) for DeepMatcher.
+
+The original DeepMatcher initializes with pre-trained fastText vectors —
+*static* word embeddings, the pre-transformer generation of transfer
+learning.  We reproduce that with skip-gram + negative sampling trained on
+the same synthetic corpus the transformers pre-train on.  Synonyms share
+contexts there, so their vectors converge, giving DeepMatcher some
+synonym-bridging power — enough to beat Magellan on hard data but well
+short of contextual transformers, exactly the gap the paper measures.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from ...tokenizers import basic_pretokenize, normalize_text
+from ...utils import child_rng
+from ..deepmatcher.vocab import WordVocab
+
+__all__ = ["train_sgns", "WordEmbeddings"]
+
+
+class WordEmbeddings:
+    """Word -> vector lookup with OOV fallback."""
+
+    def __init__(self, vectors: dict[str, np.ndarray], dim: int):
+        self.vectors = vectors
+        self.dim = dim
+
+    def __contains__(self, word: str) -> bool:
+        return word in self.vectors
+
+    def get(self, word: str,
+            rng: np.random.Generator | None = None) -> np.ndarray:
+        vector = self.vectors.get(word)
+        if vector is not None:
+            return vector
+        if rng is None:
+            return np.zeros(self.dim, dtype=np.float32)
+        return rng.normal(0, 0.1, self.dim).astype(np.float32)
+
+    def build_matrix(self, vocab: WordVocab,
+                     rng: np.random.Generator) -> np.ndarray:
+        """Embedding matrix aligned to a :class:`WordVocab`."""
+        matrix = rng.normal(0, 0.1, (len(vocab), self.dim)).astype(
+            np.float32)
+        for word, idx in vocab._token_to_id.items():
+            if word in self.vectors:
+                matrix[idx] = self.vectors[word]
+        matrix[vocab.pad_id] = 0.0
+        return matrix
+
+
+def train_sgns(corpus: list[str], dim: int = 48, window: int = 2,
+               negatives: int = 5, epochs: int = 3,
+               learning_rate: float = 0.05, min_count: int = 3,
+               seed: int = 0) -> WordEmbeddings:
+    """Train skip-gram with negative sampling, fully vectorized.
+
+    Small-corpus word2vec: builds (center, context) pairs within
+    ``window``, samples ``negatives`` noise words per pair from the
+    unigram^0.75 distribution, and optimizes the SGNS objective with
+    minibatch SGD.
+    """
+    rng = child_rng(seed, "sgns")
+    tokenized = [basic_pretokenize(normalize_text(line)) for line in corpus]
+    counts: Counter[str] = Counter(w for words in tokenized for w in words)
+    vocab = [w for w, c in counts.most_common() if c >= min_count]
+    word_to_id = {w: i for i, w in enumerate(vocab)}
+    if not vocab:
+        raise ValueError("corpus too small for the given min_count")
+
+    centers, contexts = [], []
+    for words in tokenized:
+        ids = [word_to_id[w] for w in words if w in word_to_id]
+        for i, center in enumerate(ids):
+            lo = max(0, i - window)
+            hi = min(len(ids), i + window + 1)
+            for j in range(lo, hi):
+                if j != i:
+                    centers.append(center)
+                    contexts.append(ids[j])
+    centers = np.asarray(centers)
+    contexts = np.asarray(contexts)
+
+    freq = np.array([counts[w] for w in vocab], dtype=float) ** 0.75
+    noise = freq / freq.sum()
+
+    n_words = len(vocab)
+    w_in = rng.normal(0, 0.5 / dim, (n_words, dim))
+    w_out = np.zeros((n_words, dim))
+    batch = 512
+    n_pairs = len(centers)
+    total_batches = max(epochs * ((n_pairs + batch - 1) // batch), 1)
+    seen = 0
+
+    def sigmoid(x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(x, -10.0, 10.0)))
+
+    for _ in range(epochs):
+        order = rng.permutation(n_pairs)
+        for start in range(0, n_pairs, batch):
+            lr = learning_rate * max(1.0 - seen / total_batches, 0.05)
+            seen += 1
+            idx = order[start:start + batch]
+            c = centers[idx]
+            o = contexts[idx]
+            neg = rng.choice(n_words, size=(len(idx), negatives), p=noise)
+            v_c = w_in[c]                              # (B, D)
+            v_o = w_out[o]                             # (B, D)
+            v_n = w_out[neg]                           # (B, K, D)
+            pos_score = sigmoid((v_c * v_o).sum(axis=1))
+            neg_score = sigmoid(np.einsum("bd,bkd->bk", v_c, v_n))
+            g_pos = (pos_score - 1.0)[:, None]         # dL/d(v_c·v_o)
+            g_neg = neg_score[:, :, None]
+            grad_c = g_pos * v_o + (g_neg * v_n).sum(axis=1)
+            np.add.at(w_in, c, -lr * grad_c)
+            np.add.at(w_out, o, -lr * (g_pos * v_c))
+            np.add.at(w_out, neg.reshape(-1),
+                      -lr * (g_neg * v_c[:, None, :]).reshape(-1, dim))
+    vectors = {w: w_in[i].astype(np.float32) for w, i in word_to_id.items()}
+    return WordEmbeddings(vectors, dim)
+
+
+def get_word_embeddings(seed: int = 0, dim: int = 48,
+                        num_sentences: int = 3000,
+                        zoo_dir=None) -> WordEmbeddings:
+    """Train-once-and-cache corpus word embeddings (fastText stand-in)."""
+    import json
+    from pathlib import Path
+    from ...pretraining.corpus import generate_corpus
+    from ...pretraining.model_zoo import default_zoo_dir
+
+    directory = Path(zoo_dir) if zoo_dir else default_zoo_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"sgns-{seed}-{dim}-{num_sentences}.npz"
+    if path.exists():
+        with np.load(path, allow_pickle=False) as archive:
+            words = json.loads(bytes(archive["words"]).decode("utf-8"))
+            matrix = archive["matrix"]
+        return WordEmbeddings(
+            {w: matrix[i] for i, w in enumerate(words)}, dim)
+    corpus = generate_corpus(child_rng(seed, "sgns-corpus"), num_sentences)
+    embeddings = train_sgns(corpus, dim=dim, seed=seed)
+    words = sorted(embeddings.vectors)
+    matrix = np.stack([embeddings.vectors[w] for w in words])
+    with open(path, "wb") as handle:
+        np.savez(handle,
+                 words=np.frombuffer(json.dumps(words).encode(), np.uint8),
+                 matrix=matrix)
+    return embeddings

@@ -1,0 +1,120 @@
+"""DeepMatcher architectures (Mudgal et al., SIGMOD 2018).
+
+The design space of the original paper, reduced to its four published
+points.  Each model embeds the two entities' word sequences separately,
+builds a fixed-size *summary* per entity, compares the summaries and
+classifies:
+
+* **sif** — smooth-inverse-frequency-style weighted average of word
+  embeddings (the "aggregate function" point in the design space);
+* **rnn** — bidirectional GRU, mean-pooled over time;
+* **attention** — decomposable attention (Parikh et al. 2016): each word
+  is compared against its soft alignment in the *other* entity;
+* **hybrid** — attention over BiGRU states, the paper's strongest model.
+
+All are trained from scratch per dataset — no pre-training — which is the
+property the EDBT paper's transformers beat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...nn import (BiRNN, Dropout, Embedding, Linear, Module, Tensor)
+
+__all__ = ["DeepMatcherModel", "VARIANTS"]
+
+VARIANTS = ("sif", "rnn", "attention", "hybrid")
+
+
+def _masked_mean(states: Tensor, pad_mask: np.ndarray) -> Tensor:
+    """Mean over time of (B, T, D), ignoring padded positions."""
+    keep = (~np.asarray(pad_mask, bool)).astype(states.data.dtype)
+    counts = np.maximum(keep.sum(axis=1, keepdims=True), 1.0)
+    weights = Tensor(keep / counts)                  # (B, T)
+    weighted = states * weights.reshape(*keep.shape, 1)
+    return weighted.sum(axis=1)
+
+
+class _SoftAlign(Module):
+    """Decomposable-attention alignment of sequence A against B."""
+
+    def forward(self, a: Tensor, b: Tensor,
+                b_pad: np.ndarray) -> Tensor:
+        scores = a @ b.swapaxes(-1, -2)              # (B, Ta, Tb)
+        mask = np.asarray(b_pad, bool)[:, None, :]
+        scores = scores.masked_fill(mask, -1e9)
+        weights = scores.softmax(axis=-1)
+        return weights @ b                           # (B, Ta, D)
+
+
+class DeepMatcherModel(Module):
+    """One of the four DeepMatcher variants as a single module."""
+
+    def __init__(self, vocab_size: int, variant: str,
+                 rng: np.random.Generator, embed_dim: int = 48,
+                 hidden: int = 32, dropout: float = 0.1,
+                 embedding_matrix: np.ndarray | None = None):
+        super().__init__()
+        if variant not in VARIANTS:
+            raise ValueError(f"unknown variant {variant!r}; "
+                             f"expected one of {VARIANTS}")
+        self.variant = variant
+        self.embedding = Embedding(vocab_size, embed_dim, rng, std=0.1)
+        if embedding_matrix is not None:
+            if embedding_matrix.shape != (vocab_size, embed_dim):
+                raise ValueError(
+                    f"embedding matrix shape {embedding_matrix.shape} != "
+                    f"({vocab_size}, {embed_dim})")
+            self.embedding.weight.data = embedding_matrix.astype(
+                self.embedding.weight.data.dtype).copy()
+        self.dropout = Dropout(dropout, rng)
+
+        if variant in ("rnn", "hybrid"):
+            self.rnn = BiRNN(embed_dim, hidden, rng, cell="gru")
+            state_dim = 2 * hidden
+        else:
+            self.rnn = None
+            state_dim = embed_dim
+
+        if variant in ("attention", "hybrid"):
+            self.align = _SoftAlign()
+            self.compare = Linear(2 * state_dim, state_dim, rng, std=0.1)
+        else:
+            self.align = None
+            self.compare = None
+
+        summary_dim = state_dim
+        self.classifier_hidden = Linear(2 * summary_dim, hidden, rng,
+                                        std=0.1)
+        self.classifier_out = Linear(hidden, 2, rng, std=0.1)
+
+    def _states(self, ids: np.ndarray, pad: np.ndarray) -> Tensor:
+        embedded = self.dropout(self.embedding(ids))
+        if self.rnn is not None:
+            return self.rnn(embedded)
+        return embedded
+
+    def _summarize(self, own: Tensor, other: Tensor,
+                   own_pad: np.ndarray, other_pad: np.ndarray) -> Tensor:
+        if self.align is not None:
+            aligned = self.align(own, other, other_pad)
+            combined = Tensor.concat([own, aligned], axis=-1)
+            compared = self.compare(combined).relu()
+            return _masked_mean(compared, own_pad)
+        return _masked_mean(own, own_pad)
+
+    def forward(self, ids_a: np.ndarray, ids_b: np.ndarray,
+                pad_a: np.ndarray, pad_b: np.ndarray) -> Tensor:
+        states_a = self._states(ids_a, pad_a)
+        states_b = self._states(ids_b, pad_b)
+        summary_a = self._summarize(states_a, states_b, pad_a, pad_b)
+        summary_b = self._summarize(states_b, states_a, pad_b, pad_a)
+        # Comparison features: element-wise |diff| and product, the
+        # similarity representation DeepMatcher feeds its classifier.
+        diff = summary_a - summary_b
+        abs_diff = (diff * diff + 1e-12).sqrt()
+        product = summary_a * summary_b
+        features = Tensor.concat([abs_diff, product], axis=-1)
+        hidden = self.classifier_hidden(self.dropout(features)).relu()
+        return self.classifier_out(hidden)

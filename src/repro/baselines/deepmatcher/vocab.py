@@ -1,0 +1,67 @@
+"""Word-level vocabulary for the DeepMatcher baseline.
+
+DeepMatcher embeds whitespace/punctuation words (via fastText in the
+original).  Since the contrast with the paper's transformers is exactly
+"no pre-training", embeddings here are random-initialized and learned
+from the task data alone.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from ...data import EMDataset
+from ...tokenizers import basic_pretokenize, normalize_text
+
+__all__ = ["WordVocab"]
+
+_PAD, _UNK = "<pad>", "<unk>"
+
+
+class WordVocab:
+    """Frequency-cut word vocabulary with pad/unk."""
+
+    def __init__(self, words: list[str]):
+        self._token_to_id = {_PAD: 0, _UNK: 1}
+        for word in words:
+            if word not in self._token_to_id:
+                self._token_to_id[word] = len(self._token_to_id)
+        self._id_to_token = [None] * len(self._token_to_id)
+        for token, idx in self._token_to_id.items():
+            self._id_to_token[idx] = token
+
+    def __len__(self) -> int:
+        return len(self._token_to_id)
+
+    @property
+    def pad_id(self) -> int:
+        return 0
+
+    @property
+    def unk_id(self) -> int:
+        return 1
+
+    @staticmethod
+    def tokenize(text: str) -> list[str]:
+        return basic_pretokenize(normalize_text(text))
+
+    @staticmethod
+    def build(dataset: EMDataset, min_frequency: int = 1,
+              max_size: int = 5000) -> "WordVocab":
+        counts: Counter[str] = Counter()
+        attributes = dataset.serialization_attributes()
+        for pair in dataset.pairs:
+            for record in (pair.record_a, pair.record_b):
+                counts.update(WordVocab.tokenize(
+                    record.text_blob(attributes)))
+        words = [word for word, freq in counts.most_common(max_size)
+                 if freq >= min_frequency]
+        return WordVocab(words)
+
+    def encode(self, text: str, max_length: int) -> np.ndarray:
+        ids = [self._token_to_id.get(word, self.unk_id)
+               for word in self.tokenize(text)][:max_length]
+        ids += [self.pad_id] * (max_length - len(ids))
+        return np.asarray(ids, dtype=np.int64)

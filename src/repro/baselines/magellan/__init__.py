@@ -1,0 +1,8 @@
+"""Magellan-style classical EM baseline (Konda et al., VLDB 2016)."""
+
+from .features import FeatureGenerator
+from .learners import DecisionTree, LogisticRegression, RandomForest
+from .matcher import MagellanMatcher, MagellanResult
+
+__all__ = ["FeatureGenerator", "DecisionTree", "RandomForest",
+           "LogisticRegression", "MagellanMatcher", "MagellanResult"]

@@ -1,0 +1,189 @@
+"""Classical ML learners implemented from scratch (numpy only).
+
+Magellan lets the user pick among decision trees, random forests, SVMs,
+logistic regression etc.; we implement the three its documentation
+recommends first and select among them on validation F1, as the Magellan
+workflow prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DecisionTree", "RandomForest", "LogisticRegression"]
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "._Node | None" = None
+    right: "._Node | None" = None
+    prediction: float = 0.5  # P(match) at a leaf
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTree:
+    """CART with Gini impurity, depth and leaf-size limits."""
+
+    def __init__(self, max_depth: int = 8, min_leaf: int = 4,
+                 max_features: int | None = None, seed: int = 0):
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self.max_features = max_features
+        self._rng = np.random.default_rng(seed)
+        self._root: _Node | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTree":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=int)
+        self._root = self._grow(features, labels, depth=0)
+        return self
+
+    def _grow(self, features: np.ndarray, labels: np.ndarray,
+              depth: int) -> _Node:
+        node = _Node(prediction=float(labels.mean()) if len(labels) else 0.5)
+        if (depth >= self.max_depth or len(labels) < 2 * self.min_leaf
+                or labels.min() == labels.max()):
+            return node
+        n_features = features.shape[1]
+        if self.max_features is not None and self.max_features < n_features:
+            candidates = self._rng.choice(n_features, self.max_features,
+                                          replace=False)
+        else:
+            candidates = np.arange(n_features)
+        best_gain, best_feature, best_threshold = 0.0, -1, 0.0
+        parent_impurity = _gini(labels)
+        for feature in candidates:
+            column = features[:, feature]
+            thresholds = np.unique(np.quantile(
+                column, [0.1, 0.25, 0.5, 0.75, 0.9]))
+            for threshold in thresholds:
+                left = labels[column <= threshold]
+                right = labels[column > threshold]
+                if len(left) < self.min_leaf or len(right) < self.min_leaf:
+                    continue
+                weighted = (len(left) * _gini(left)
+                            + len(right) * _gini(right)) / len(labels)
+                gain = parent_impurity - weighted
+                if gain > best_gain:
+                    best_gain, best_feature, best_threshold = (
+                        gain, int(feature), float(threshold))
+        if best_feature < 0:
+            return node
+        mask = features[:, best_feature] <= best_threshold
+        node.feature = best_feature
+        node.threshold = best_threshold
+        node.left = self._grow(features[mask], labels[mask], depth + 1)
+        node.right = self._grow(features[~mask], labels[~mask], depth + 1)
+        return node
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("fit() before predict")
+        features = np.asarray(features, dtype=float)
+        return np.array([self._walk(row) for row in features])
+
+    def _walk(self, row: np.ndarray) -> float:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.prediction
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features) >= 0.5).astype(int)
+
+
+class RandomForest:
+    """Bagged CART trees with feature subsampling."""
+
+    def __init__(self, n_trees: int = 25, max_depth: int = 8,
+                 min_leaf: int = 2, seed: int = 0):
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self.seed = seed
+        self._trees: list[DecisionTree] = []
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "RandomForest":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=int)
+        rng = np.random.default_rng(self.seed)
+        n = len(labels)
+        max_features = max(int(np.sqrt(features.shape[1])), 1)
+        self._trees = []
+        for t in range(self.n_trees):
+            sample = rng.integers(0, n, size=n)
+            tree = DecisionTree(max_depth=self.max_depth,
+                                min_leaf=self.min_leaf,
+                                max_features=max_features,
+                                seed=self.seed + t + 1)
+            tree.fit(features[sample], labels[sample])
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("fit() before predict")
+        votes = np.stack([tree.predict_proba(features)
+                          for tree in self._trees])
+        return votes.mean(axis=0)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features) >= 0.5).astype(int)
+
+
+class LogisticRegression:
+    """L2-regularized logistic regression trained by full-batch gradient
+    descent with feature standardization."""
+
+    def __init__(self, learning_rate: float = 0.5, iterations: int = 400,
+                 l2: float = 1e-3):
+        self.learning_rate = learning_rate
+        self.iterations = iterations
+        self.l2 = l2
+        self._weights: np.ndarray | None = None
+        self._bias = 0.0
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray,
+            labels: np.ndarray) -> "LogisticRegression":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        self._mean = features.mean(axis=0)
+        self._std = features.std(axis=0) + 1e-8
+        x = (features - self._mean) / self._std
+        n, d = x.shape
+        self._weights = np.zeros(d)
+        self._bias = 0.0
+        for _ in range(self.iterations):
+            logits = x @ self._weights + self._bias
+            probs = 1.0 / (1.0 + np.exp(-logits))
+            error = probs - labels
+            grad_w = x.T @ error / n + self.l2 * self._weights
+            grad_b = error.mean()
+            self._weights -= self.learning_rate * grad_w
+            self._bias -= self.learning_rate * grad_b
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("fit() before predict")
+        x = (np.asarray(features, dtype=float) - self._mean) / self._std
+        return 1.0 / (1.0 + np.exp(-(x @ self._weights + self._bias)))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features) >= 0.5).astype(int)
+
+
+def _gini(labels: np.ndarray) -> float:
+    if len(labels) == 0:
+        return 0.0
+    p = labels.mean()
+    return float(2.0 * p * (1.0 - p))

@@ -1,0 +1,99 @@
+"""The Magellan-style matcher: features + best classical learner.
+
+Follows the Magellan workflow: generate similarity features, train a set
+of candidate learners, pick the one with the best validation F1, report
+test F1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...data import EMDataset
+from ...matching.metrics import MatchingMetrics, evaluate_predictions
+from .features import FeatureGenerator
+from .learners import DecisionTree, LogisticRegression, RandomForest
+
+__all__ = ["MagellanMatcher", "MagellanResult"]
+
+
+def _best_threshold(labels: np.ndarray, probabilities: np.ndarray,
+                    grid: np.ndarray | None = None) -> tuple[float, float]:
+    """Decision threshold maximizing F1 on held-out data."""
+    if grid is None:
+        grid = np.linspace(0.1, 0.9, 17)
+    best_threshold, best_f1 = 0.5, -1.0
+    for threshold in grid:
+        predictions = (probabilities >= threshold).astype(int)
+        f1 = evaluate_predictions(labels, predictions).f1
+        if f1 > best_f1:
+            best_threshold, best_f1 = float(threshold), f1
+    return best_threshold, best_f1
+
+
+@dataclass
+class MagellanResult:
+    chosen_learner: str
+    validation_f1: float
+    test_metrics: MatchingMetrics
+
+
+class MagellanMatcher:
+    """Feature-based EM with automatic learner selection."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._generator: FeatureGenerator | None = None
+        self._model = None
+        self.chosen_learner: str | None = None
+
+    def _candidates(self) -> dict[str, object]:
+        return {
+            "decision_tree": DecisionTree(seed=self.seed),
+            "random_forest": RandomForest(seed=self.seed),
+            "logistic_regression": LogisticRegression(),
+        }
+
+    def fit(self, train: EMDataset,
+            validation: EMDataset | None = None) -> "MagellanMatcher":
+        """Fit the featurizer and pick the best learner on validation F1."""
+        self._generator = FeatureGenerator(train.schema).fit(train)
+        x_train, y_train = self._generator.transform(train)
+        if validation is not None and len(validation):
+            x_val, y_val = self._generator.transform(validation)
+        else:
+            x_val, y_val = x_train, y_train
+        best = (-1.0, None, None, 0.5)
+        for name, model in self._candidates().items():
+            model.fit(x_train, y_train)
+            probabilities = model.predict_proba(x_val)
+            threshold, f1 = _best_threshold(y_val, probabilities)
+            if f1 > best[0]:
+                best = (f1, name, model, threshold)
+        self._validation_f1, self.chosen_learner = best[0], best[1]
+        self._model, self._threshold = best[2], best[3]
+        return self
+
+    def predict(self, dataset: EMDataset) -> np.ndarray:
+        if self._model is None:
+            raise RuntimeError("fit() before predict")
+        features, _ = self._generator.transform(dataset)
+        probabilities = self._model.predict_proba(features)
+        return (probabilities >= self._threshold).astype(int)
+
+    def evaluate(self, dataset: EMDataset) -> MatchingMetrics:
+        predictions = self.predict(dataset)
+        return evaluate_predictions(np.asarray(dataset.labels()),
+                                    predictions)
+
+    def run(self, train: EMDataset, validation: EMDataset,
+            test: EMDataset) -> MagellanResult:
+        """Full protocol: fit, select, evaluate on test."""
+        self.fit(train, validation)
+        return MagellanResult(
+            chosen_learner=self.chosen_learner,
+            validation_f1=self._validation_f1,
+            test_metrics=self.evaluate(test),
+        )

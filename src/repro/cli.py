@@ -1,0 +1,148 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    Print Table 3 statistics for the five benchmarks (optionally at a
+    reduced scale).
+``generate``
+    Write one benchmark to a CSV file.
+``pretrain``
+    Build (or rebuild) the model-zoo checkpoint for an architecture.
+``match``
+    Fine-tune an architecture on a benchmark and report test F1.
+``table``
+    Regenerate Table 3, 5 or 6.
+``figure``
+    Regenerate one of Figures 10-14.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .data import benchmark_names, load_benchmark, save_dataset, \
+    split_dataset
+from .utils import child_rng
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Entity matching with transformer architectures "
+                    "(EDBT 2020) — reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="print Table 3 statistics")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("generate", help="write a benchmark to CSV")
+    p.add_argument("name", choices=benchmark_names())
+    p.add_argument("output")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--variant", choices=["clean", "dirty", "textual"],
+                   default=None)
+
+    p = sub.add_parser("pretrain", help="build a model-zoo checkpoint")
+    p.add_argument("arch", choices=["bert", "roberta", "distilbert",
+                                    "xlnet"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--force", action="store_true")
+
+    p = sub.add_parser("match", help="fine-tune and evaluate on a benchmark")
+    p.add_argument("arch", choices=["bert", "roberta", "distilbert",
+                                    "xlnet"])
+    p.add_argument("dataset", choices=benchmark_names())
+    p.add_argument("--scale", type=float, default=0.08)
+    p.add_argument("--epochs", type=int, default=4)
+    p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("number", type=int, choices=[3, 5, 6])
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("number", type=int, choices=[10, 11, 12, 13, 14])
+
+    return parser
+
+
+def _cmd_datasets(args) -> int:
+    from .evaluation import table3
+    print(table3(scale=args.scale, seed=args.seed))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    dataset = load_benchmark(args.name, seed=args.seed, scale=args.scale,
+                             variant=args.variant)
+    save_dataset(dataset, args.output)
+    stats = dataset.stats()
+    print(f"wrote {stats.size} pairs ({stats.num_matches} matches) "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_pretrain(args) -> int:
+    from .pretraining import get_pretrained
+    model = get_pretrained(args.arch, seed=args.seed,
+                           force_retrain=args.force, log=print)
+    source = "cache" if model.from_cache else "fresh pre-training"
+    print(f"{args.arch}: {model.backbone.num_parameters():,} parameters "
+          f"({source})")
+    return 0
+
+
+def _cmd_match(args) -> int:
+    from .matching import EntityMatcher, FineTuneConfig
+    data = load_benchmark(args.dataset, seed=args.seed, scale=args.scale)
+    splits = split_dataset(data, child_rng(args.seed, "split"))
+    matcher = EntityMatcher(
+        args.arch, finetune_config=FineTuneConfig(epochs=args.epochs))
+    matcher.fit(splits.train, splits.test, log=print)
+    metrics = matcher.evaluate(splits.test).as_percent()
+    print(f"\n{args.arch} on {data.name}: F1 {metrics.f1:.1f} "
+          f"(P {metrics.precision:.1f} / R {metrics.recall:.1f})")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from .evaluation import table3, table5, table6
+    if args.number == 3:
+        print(table3())
+    elif args.number == 5:
+        _, rendered = table5()
+        print(rendered)
+    else:
+        _, rendered = table6()
+        print(rendered)
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from .evaluation import figure
+    print(figure(args.number).rendered())
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "generate": _cmd_generate,
+    "pretrain": _cmd_pretrain,
+    "match": _cmd_match,
+    "table": _cmd_table,
+    "figure": _cmd_figure,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Entity-matching data substrate: records, benchmarks, splits, dirty
+transform and CSV persistence."""
+
+from .blocking import (BlockingQuality, CandidatePair,
+                       SortedNeighborhoodBlocker, TokenBlocker,
+                       evaluate_blocking)
+from .catalog import (BENCHMARKS, PAPER_VARIANTS, benchmark_names,
+                      load_benchmark, table3_spec)
+from .dirty import dirty_record, make_dirty
+from .io import load_dataset, save_dataset
+from .records import DatasetStats, EMDataset, EntityPair, Record
+from .splits import DatasetSplits, split_dataset
+
+__all__ = [
+    "Record", "EntityPair", "EMDataset", "DatasetStats",
+    "DatasetSplits", "split_dataset",
+    "make_dirty", "dirty_record",
+    "save_dataset", "load_dataset",
+    "load_benchmark", "benchmark_names", "table3_spec",
+    "BENCHMARKS", "PAPER_VARIANTS",
+    "TokenBlocker", "SortedNeighborhoodBlocker", "CandidatePair",
+    "BlockingQuality", "evaluate_blocking",
+]

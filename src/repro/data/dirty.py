@@ -1,0 +1,61 @@
+"""The "dirty data" corruption of Mudgal et al. (SIGMOD 2018).
+
+From the paper (§5.1): "They suggest for each attribute other than 'title'
+to randomly move each value to the attribute 'title' in the same tuple
+with a probability of p = 0.5."  The moved value is appended to the title
+and the source attribute becomes empty — so the information survives but
+its structure is destroyed, which is what breaks attribute-aligned
+matchers like Magellan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .records import EMDataset, EntityPair, Record
+
+__all__ = ["make_dirty", "dirty_record"]
+
+
+def dirty_record(record: Record, title_attribute: str,
+                 rng: np.random.Generator,
+                 move_probability: float = 0.5) -> Record:
+    """Return a corrupted copy of ``record``."""
+    values = dict(record.values)
+    title_parts = [values.get(title_attribute, "")]
+    for attribute in record.attributes():
+        if attribute == title_attribute:
+            continue
+        value = values.get(attribute, "")
+        if value and rng.random() < move_probability:
+            title_parts.append(value)
+            values[attribute] = ""
+    values[title_attribute] = " ".join(p for p in title_parts if p).strip()
+    return Record(values)
+
+
+def make_dirty(dataset: EMDataset, rng: np.random.Generator,
+               title_attribute: str | None = None,
+               move_probability: float = 0.5) -> EMDataset:
+    """Apply the dirty transform to every record of every pair."""
+    title = title_attribute or dataset.schema[0]
+    if title not in dataset.schema:
+        raise ValueError(
+            f"title attribute {title!r} not in schema {dataset.schema}")
+    dirty_pairs = [
+        EntityPair(
+            record_a=dirty_record(pair.record_a, title, rng,
+                                  move_probability),
+            record_b=dirty_record(pair.record_b, title, rng,
+                                  move_probability),
+            label=pair.label,
+        )
+        for pair in dataset.pairs
+    ]
+    return EMDataset(
+        name=dataset.name + "-dirty",
+        domain=dataset.domain,
+        schema=list(dataset.schema),
+        pairs=dirty_pairs,
+        text_attributes=dataset.text_attributes,
+    )

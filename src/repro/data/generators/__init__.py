@@ -1,0 +1,12 @@
+"""Synthetic generators for the five paper benchmarks (Table 3)."""
+
+from . import abt_buy, dblp_acm, dblp_scholar, itunes_amazon, walmart_amazon
+from ._base import (GeneratorSpec, NoiseProfile, apply_text_noise,
+                    assemble_pairs, drift_code, generate_from_universe,
+                    scale_counts, typo)
+
+__all__ = [
+    "abt_buy", "itunes_amazon", "walmart_amazon", "dblp_acm", "dblp_scholar",
+    "GeneratorSpec", "NoiseProfile", "apply_text_noise", "assemble_pairs",
+    "drift_code", "generate_from_universe", "scale_counts", "typo",
+]

@@ -1,0 +1,171 @@
+"""Shared machinery for the synthetic dataset generators.
+
+Each generator models a *universe of real-world entities*; a labeled pair
+dataset is assembled from two noisy "database views" of that universe:
+
+* a **match** renders the same underlying entity twice with independent
+  noise (synonym substitution, typos, dropped words, missing attributes,
+  format drift) — different surface, same semantics;
+* a **hard negative** perturbs one or two semantic slots of an entity
+  (different model number, capacity, year, ...) — similar surface,
+  different semantics;
+* a **random negative** pairs two unrelated entities.
+
+The ratio of hard to random negatives and the noise profile control how
+"challenging" a dataset is, which is how the five paper datasets get their
+distinct difficulty levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..records import EMDataset, EntityPair, Record
+from .. import wordbank
+
+__all__ = ["NoiseProfile", "GeneratorSpec", "apply_text_noise",
+           "generate_from_universe",
+           "typo", "drift_code", "assemble_pairs", "scale_counts"]
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+@dataclass
+class NoiseProfile:
+    """Per-view corruption knobs applied when rendering an entity."""
+
+    p_synonym: float = 0.4       # replace a word with a synonym
+    p_typo: float = 0.05         # character-level typo per word
+    p_drop_word: float = 0.1     # drop a word from free text
+    p_missing_attr: float = 0.1  # blank an attribute entirely
+    p_code_drift: float = 0.5    # reformat model numbers / codes
+
+
+@dataclass
+class GeneratorSpec:
+    """Target pair counts (Table 3) and negative mix for one dataset."""
+
+    name: str
+    domain: str
+    size: int
+    num_matches: int
+    hard_negative_fraction: float = 0.7
+
+
+def scale_counts(spec: GeneratorSpec, scale: float) -> tuple[int, int]:
+    """Scale (size, matches) down for fast runs; keeps the match rate."""
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"scale must be in (0, 1]: {scale}")
+    size = max(int(round(spec.size * scale)), 20)
+    matches = max(int(round(spec.num_matches * scale)), 5)
+    matches = min(matches, size - 5)
+    return size, matches
+
+
+def typo(word: str, rng: np.random.Generator) -> str:
+    """One random character edit (swap / drop / replace / duplicate)."""
+    if len(word) < 3:
+        return word
+    i = int(rng.integers(1, len(word) - 1))
+    kind = rng.integers(4)
+    if kind == 0:  # swap adjacent
+        chars = list(word)
+        chars[i], chars[i - 1] = chars[i - 1], chars[i]
+        return "".join(chars)
+    if kind == 1:  # drop
+        return word[:i] + word[i + 1:]
+    if kind == 2:  # replace
+        return word[:i] + _ALPHABET[rng.integers(26)] + word[i + 1:]
+    return word[:i] + word[i] + word[i:]  # duplicate
+
+
+def apply_text_noise(text: str, profile: NoiseProfile,
+                     rng: np.random.Generator) -> str:
+    """Synonym-substitute, typo and drop words of a free-text value."""
+    words = text.split()
+    out: list[str] = []
+    for word in words:
+        if len(words) > 3 and rng.random() < profile.p_drop_word:
+            continue
+        replaced = wordbank.sample_synonym(word, rng, profile.p_synonym)
+        # Multi-word synonyms come back as phrases; keep them intact.
+        for piece in replaced.split():
+            if rng.random() < profile.p_typo:
+                piece = typo(piece, rng)
+            out.append(piece)
+    return " ".join(out) if out else text
+
+
+def drift_code(code: str, rng: np.random.Generator,
+               probability: float) -> str:
+    """Reformat an identifier ('zx4821' -> 'zx-4821' / 'ZX 4821' ...)."""
+    if rng.random() >= probability:
+        return code
+    style = rng.integers(3)
+    head = code.rstrip("0123456789")
+    tail = code[len(head):]
+    if style == 0 and head and tail:
+        return f"{head}-{tail}"
+    if style == 1 and head and tail:
+        return f"{head} {tail}"
+    return code.upper()
+
+
+def assemble_pairs(name: str, domain: str, schema: list[str],
+                   matches: list[tuple[Record, Record]],
+                   hard_negatives: list[tuple[Record, Record]],
+                   random_negatives: list[tuple[Record, Record]],
+                   rng: np.random.Generator,
+                   text_attributes: list[str] | None = None) -> EMDataset:
+    """Combine pair groups, shuffle, and wrap in an :class:`EMDataset`."""
+    pairs = (
+        [EntityPair(a, b, 1) for a, b in matches]
+        + [EntityPair(a, b, 0) for a, b in hard_negatives]
+        + [EntityPair(a, b, 0) for a, b in random_negatives]
+    )
+    order = rng.permutation(len(pairs))
+    return EMDataset(
+        name=name,
+        domain=domain,
+        schema=schema,
+        pairs=[pairs[i] for i in order],
+        text_attributes=text_attributes,
+    )
+
+
+def generate_from_universe(spec: GeneratorSpec, schema: list[str],
+                           sample_fn, render_fn, perturb_fn,
+                           profile: NoiseProfile,
+                           rng: np.random.Generator,
+                           text_attributes: list[str] | None = None,
+                           scale: float = 1.0) -> EMDataset:
+    """Drive a universe's sample/render/perturb functions into a dataset."""
+    size, n_matches = scale_counts(spec, scale)
+    n_negatives = size - n_matches
+    n_hard = int(round(n_negatives * spec.hard_negative_fraction))
+    n_random = n_negatives - n_hard
+
+    matches = []
+    for _ in range(n_matches):
+        entity = sample_fn(rng)
+        matches.append((render_fn(entity, schema, profile, rng),
+                        render_fn(entity, schema, profile, rng)))
+
+    hard_negatives = []
+    for _ in range(n_hard):
+        entity = sample_fn(rng)
+        similar = perturb_fn(entity, rng)
+        hard_negatives.append((render_fn(entity, schema, profile, rng),
+                               render_fn(similar, schema, profile, rng)))
+
+    random_negatives = []
+    for _ in range(n_random):
+        random_negatives.append(
+            (render_fn(sample_fn(rng), schema, profile, rng),
+             render_fn(sample_fn(rng), schema, profile, rng)))
+
+    return assemble_pairs(spec.name, spec.domain, schema, matches,
+                          hard_negatives, random_negatives, rng,
+                          text_attributes=text_attributes)

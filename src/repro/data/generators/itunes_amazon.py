@@ -1,0 +1,38 @@
+"""iTunes-Amazon: music data (Table 3: 539 pairs / 132 matches /
+8 attributes).
+
+The defining property is *tiny size* — the paper's Figure 11 shows F1
+collapsing to ~0 after one epoch because there is so little training
+data.  Noise is moderate; the challenge is statistical, not textual.
+Used in its *dirty* variant (values randomly moved into ``song_name``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..records import EMDataset
+from ._base import GeneratorSpec, NoiseProfile, generate_from_universe
+from .universe import perturb_music, render_music, sample_music
+
+__all__ = ["SPEC", "SCHEMA", "generate"]
+
+SPEC = GeneratorSpec(name="itunes-amazon", domain="music", size=539,
+                     num_matches=132, hard_negative_fraction=0.7)
+SCHEMA = ["song_name", "artist_name", "album_name", "genre", "price",
+          "copyright", "time", "released"]
+
+PROFILE = NoiseProfile(
+    p_synonym=0.3,
+    p_typo=0.04,
+    p_drop_word=0.05,
+    p_missing_attr=0.15,
+    p_code_drift=0.5,
+)
+
+
+def generate(rng: np.random.Generator, scale: float = 1.0) -> EMDataset:
+    """Generate the iTunes-Amazon analogue at the given scale."""
+    return generate_from_universe(
+        SPEC, SCHEMA, sample_music, render_music, perturb_music,
+        PROFILE, rng, scale=scale)

@@ -1,0 +1,306 @@
+"""Entity universes: the latent real-world objects behind the datasets.
+
+Entities are semantic tuples (brand, type, model code, capacity, ...).
+Renderers turn an entity into a noisy :class:`Record` for one database
+view; perturbations produce the *hard negatives* — entities that look
+similar but differ in a discriminative slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..records import Record
+from .. import wordbank
+from ._base import NoiseProfile, apply_text_noise, drift_code
+
+__all__ = ["ProductEntity", "MusicEntity", "CitationEntity",
+           "sample_product", "sample_music", "sample_citation",
+           "perturb_product", "perturb_music", "perturb_citation",
+           "render_product", "render_music", "render_citation"]
+
+
+def _choice(rng: np.random.Generator, items: list[str]) -> str:
+    return items[rng.integers(len(items))]
+
+
+# --------------------------------------------------------------------------
+# Products (Abt-Buy, Walmart-Amazon)
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ProductEntity:
+    brand: str
+    ptype: str              # canonical product type (synonym group head)
+    adjectives: tuple[str, ...]
+    color: str
+    model_code: str
+    capacity: int
+    unit: str
+    component: str
+    price: float
+
+
+def sample_product(rng: np.random.Generator) -> ProductEntity:
+    head = _choice(rng, "abcdefghjkmnpqrstvwxz")
+    head2 = _choice(rng, "abcdefghjkmnpqrstvwxz")
+    code = f"{head}{head2}{rng.integers(100, 9999)}"
+    return ProductEntity(
+        brand=_choice(rng, wordbank.BRANDS),
+        ptype=_choice(rng, wordbank.PRODUCT_TYPES),
+        adjectives=tuple(rng.choice(wordbank.ADJECTIVES, size=2,
+                                    replace=False)),
+        color=_choice(rng, wordbank.COLORS),
+        model_code=code,
+        capacity=int(_choice(rng, ["16", "32", "64", "128", "256", "512"])),
+        unit=_choice(rng, wordbank.UNITS[:3]),
+        component=_choice(rng, wordbank.COMPONENTS),
+        price=round(float(rng.uniform(20, 1500)), 2),
+    )
+
+
+def perturb_product(entity: ProductEntity,
+                    rng: np.random.Generator) -> ProductEntity:
+    """A similar but different product.
+
+    Always regenerates the numeric tail of the model code (different
+    products ship under different codes) plus one more semantic slot, so
+    hard negatives are distinguishable in principle yet break any matcher
+    that cannot align codes across format drift.
+    """
+    head = entity.model_code.rstrip("0123456789")
+    entity = replace(entity,
+                     model_code=f"{head}{rng.integers(100, 9999)}")
+    kind = rng.integers(3)
+    if kind == 0:
+        return replace(entity, price=round(
+            entity.price * float(rng.uniform(0.7, 1.3)), 2))
+    if kind == 1:
+        choices = [c for c in (16, 32, 64, 128, 256, 512)
+                   if c != entity.capacity]
+        return replace(entity,
+                       capacity=int(_choice(rng, [str(c) for c in choices])),
+                       color=_choice(rng, wordbank.COLORS))
+    return replace(entity, ptype=_choice(rng, wordbank.PRODUCT_TYPES))
+
+
+def _product_description(entity: ProductEntity,
+                         rng: np.random.Generator) -> str:
+    templates = [
+        "the {adj0} {brand} {ptype} {code} features a {adj1} {component} "
+        "with {capacity} {unit} available in {color}",
+        "{brand} {ptype} {code} a {adj0} and {adj1} device with "
+        "{capacity} {unit} {component} in {color}",
+        "brand new {brand} {code} {ptype} with {adj0} {component} "
+        "{capacity} {unit} of storage color {color} {adj1} design",
+        "the {brand} {ptype} now with a {adj0} {component} and "
+        "{capacity} {unit} comes in {color} model {code} {adj1} build",
+    ]
+    template = templates[rng.integers(len(templates))]
+    return template.format(
+        brand=entity.brand, ptype=entity.ptype, code=entity.model_code,
+        adj0=entity.adjectives[0], adj1=entity.adjectives[1],
+        component=entity.component, capacity=entity.capacity,
+        unit=entity.unit, color=entity.color)
+
+
+def render_product(entity: ProductEntity, schema: list[str],
+                   profile: NoiseProfile,
+                   rng: np.random.Generator) -> Record:
+    """Render a product into the given schema with view-specific noise."""
+    title = (f"{entity.brand} {entity.ptype} {entity.model_code} "
+             f"{entity.color}")
+    description = _product_description(entity, rng)
+    full_values = {
+        "title": apply_text_noise(title, profile, rng),
+        "name": apply_text_noise(title, profile, rng),
+        "brand": entity.brand,
+        "category": wordbank.canonical(entity.ptype),
+        "modelno": drift_code(entity.model_code, rng, profile.p_code_drift),
+        "description": apply_text_noise(description, profile, rng),
+        "price": _drift_price(entity.price, rng),
+    }
+    values = {}
+    for attribute in schema:
+        value = full_values.get(attribute, "")
+        if value and rng.random() < profile.p_missing_attr:
+            value = ""
+        values[attribute] = value
+    return Record(values)
+
+
+def _drift_price(price: float, rng: np.random.Generator) -> str:
+    style = rng.integers(3)
+    if style == 0:
+        return f"{price:.2f}"
+    if style == 1:
+        return f"$ {price:.2f}"
+    return f"{price:.0f}.00" if rng.random() < 0.5 else f"{price:.2f} usd"
+
+
+# --------------------------------------------------------------------------
+# Music (iTunes-Amazon)
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MusicEntity:
+    song: str
+    artist: str
+    album: str
+    genre: str
+    seconds: int
+    released: int
+    price: float
+    copyright_holder: str
+
+
+def sample_music(rng: np.random.Generator) -> MusicEntity:
+    words = rng.choice(wordbank.SONG_WORDS, size=2, replace=False)
+    album_words = rng.choice(wordbank.SONG_WORDS, size=2, replace=False)
+    artist = (f"{_choice(rng, wordbank.FIRST_NAMES)} "
+              f"{_choice(rng, wordbank.LAST_NAMES)}")
+    return MusicEntity(
+        song=" ".join(words),
+        artist=artist,
+        album=" ".join(album_words),
+        genre=_choice(rng, wordbank.GENRES),
+        seconds=int(rng.integers(120, 420)),
+        released=int(rng.integers(1995, 2019)),
+        price=round(float(rng.uniform(0.69, 1.99)), 2),
+        copyright_holder=_choice(rng, wordbank.BRANDS) + " records",
+    )
+
+
+def perturb_music(entity: MusicEntity,
+                  rng: np.random.Generator) -> MusicEntity:
+    kind = rng.integers(3)
+    if kind == 0:  # different song, same artist & album family
+        words = rng.choice(wordbank.SONG_WORDS, size=2, replace=False)
+        return replace(entity, song=" ".join(words),
+                       seconds=int(rng.integers(120, 420)))
+    if kind == 1:  # same song title, different artist (cover version)
+        artist = (f"{_choice(rng, wordbank.FIRST_NAMES)} "
+                  f"{_choice(rng, wordbank.LAST_NAMES)}")
+        return replace(entity, artist=artist,
+                       released=int(rng.integers(1995, 2019)))
+    return replace(entity, album=" ".join(
+        rng.choice(wordbank.SONG_WORDS, size=2, replace=False)),
+        released=entity.released + int(rng.integers(1, 5)))
+
+
+def render_music(entity: MusicEntity, schema: list[str],
+                 profile: NoiseProfile, rng: np.random.Generator) -> Record:
+    minutes, secs = divmod(entity.seconds, 60)
+    time_str = (f"{minutes}:{secs:02d}" if rng.random() < 0.5
+                else f"{entity.seconds} sec")
+    full_values = {
+        "song_name": apply_text_noise(entity.song, profile, rng),
+        "artist_name": apply_text_noise(entity.artist, profile, rng),
+        "album_name": apply_text_noise(entity.album, profile, rng),
+        "genre": entity.genre,
+        "price": _drift_price(entity.price, rng),
+        "copyright": entity.copyright_holder,
+        "time": time_str,
+        "released": (str(entity.released) if rng.random() < 0.5
+                     else f"{_choice(rng, ['jan','mar','jun','sep','nov'])} "
+                          f"{entity.released}"),
+    }
+    values = {}
+    for attribute in schema:
+        value = full_values.get(attribute, "")
+        if value and rng.random() < profile.p_missing_attr:
+            value = ""
+        values[attribute] = value
+    return Record(values)
+
+
+# --------------------------------------------------------------------------
+# Citations (DBLP-ACM, DBLP-Scholar)
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CitationEntity:
+    title: str
+    authors: tuple[str, ...]
+    venue: str
+    year: int
+
+
+def sample_citation(rng: np.random.Generator) -> CitationEntity:
+    topic = _choice(rng, wordbank.PAPER_TOPICS)
+    pattern = rng.integers(4)
+    if pattern == 0:
+        title = f"efficient {topic} for large scale data"
+    elif pattern == 1:
+        title = f"a survey of {topic} techniques"
+    elif pattern == 2:
+        title = f"{topic} revisited a new approach"
+    else:
+        title = f"towards scalable {topic} in modern systems"
+    n_authors = int(rng.integers(1, 4))
+    authors = tuple(
+        f"{_choice(rng, wordbank.FIRST_NAMES)} "
+        f"{_choice(rng, wordbank.LAST_NAMES)}"
+        for _ in range(n_authors))
+    return CitationEntity(
+        title=title,
+        authors=authors,
+        venue=_choice(rng, wordbank.VENUES),
+        year=int(rng.integers(1998, 2019)),
+    )
+
+
+def perturb_citation(entity: CitationEntity,
+                     rng: np.random.Generator) -> CitationEntity:
+    """A related but different paper: the topic always changes, plus one
+    of (year, authors, venue) — follow-up work, survey of another topic,
+    or a different group's paper in the same venue."""
+    topic = _choice(rng, wordbank.PAPER_TOPICS)
+    pattern = rng.integers(3)
+    if pattern == 0:  # follow-up by the same authors
+        return replace(entity,
+                       title=f"efficient {topic} for large scale data",
+                       year=entity.year + int(rng.integers(1, 4)))
+    if pattern == 1:  # different group, same venue
+        return replace(entity, title=f"a survey of {topic} techniques",
+                       authors=tuple(
+                           f"{_choice(rng, wordbank.FIRST_NAMES)} "
+                           f"{_choice(rng, wordbank.LAST_NAMES)}"
+                           for _ in range(len(entity.authors))))
+    return replace(entity,
+                   title=f"towards scalable {topic} in modern systems",
+                   venue=_choice(rng, wordbank.VENUES),
+                   year=entity.year + int(rng.integers(1, 3)))
+
+
+def _abbreviate_author(name: str, rng: np.random.Generator,
+                       probability: float) -> str:
+    if rng.random() >= probability:
+        return name
+    first, _, last = name.partition(" ")
+    return f"{first[0]} {last}" if last else name
+
+
+def render_citation(entity: CitationEntity, schema: list[str],
+                    profile: NoiseProfile,
+                    rng: np.random.Generator,
+                    abbreviate_probability: float = 0.4) -> Record:
+    authors = ", ".join(
+        _abbreviate_author(a, rng, abbreviate_probability)
+        for a in entity.authors)
+    full_values = {
+        "title": apply_text_noise(entity.title, profile, rng),
+        "authors": authors,
+        "venue": (entity.venue if rng.random() < 0.6
+                  else f"proceedings of {entity.venue}"),
+        "year": str(entity.year),
+    }
+    values = {}
+    for attribute in schema:
+        value = full_values.get(attribute, "")
+        if value and rng.random() < profile.p_missing_attr:
+            value = ""
+        values[attribute] = value
+    return Record(values)

@@ -1,0 +1,59 @@
+"""CSV persistence for pair datasets.
+
+Format: one row per pair, columns ``a_<attr>`` / ``b_<attr>`` / ``label``,
+matching how the Magellan benchmark releases ship labeled pair tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from .records import EMDataset, EntityPair, Record
+
+__all__ = ["save_dataset", "load_dataset"]
+
+
+def save_dataset(dataset: EMDataset, path: str | Path) -> None:
+    """Write a pair dataset as CSV plus a .meta.json sidecar."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = ([f"a_{a}" for a in dataset.schema]
+              + [f"b_{a}" for a in dataset.schema] + ["label"])
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for pair in dataset.pairs:
+            row = ([pair.record_a[a] for a in dataset.schema]
+                   + [pair.record_b[a] for a in dataset.schema]
+                   + [pair.label])
+            writer.writerow(row)
+    meta = {
+        "name": dataset.name,
+        "domain": dataset.domain,
+        "schema": dataset.schema,
+        "text_attributes": dataset.text_attributes,
+    }
+    path.with_suffix(".meta.json").write_text(json.dumps(meta))
+
+
+def load_dataset(path: str | Path) -> EMDataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    path = Path(path)
+    meta = json.loads(path.with_suffix(".meta.json").read_text())
+    schema = meta["schema"]
+    pairs: list[EntityPair] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            record_a = Record({a: row[f"a_{a}"] for a in schema})
+            record_b = Record({a: row[f"b_{a}"] for a in schema})
+            pairs.append(EntityPair(record_a, record_b, int(row["label"])))
+    return EMDataset(
+        name=meta["name"],
+        domain=meta["domain"],
+        schema=schema,
+        pairs=pairs,
+        text_attributes=meta.get("text_attributes"),
+    )

@@ -1,0 +1,112 @@
+"""Data model for entity matching: records, labeled pairs, datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Record", "EntityPair", "EMDataset", "DatasetStats"]
+
+
+@dataclass
+class Record:
+    """One entity: an ordered mapping attribute -> string value.
+
+    Missing values are empty strings (the convention of the Magellan
+    dataset releases).
+    """
+
+    values: dict[str, str]
+
+    def __getitem__(self, attribute: str) -> str:
+        return self.values.get(attribute, "")
+
+    def attributes(self) -> list[str]:
+        return list(self.values)
+
+    def text_blob(self, attributes: list[str] | None = None,
+                  separator: str = " ") -> str:
+        """Concatenate attribute values into one text blob (Figure 9).
+
+        For "dirty" datasets, all attributes are concatenated; for the
+        textual dataset only the description attribute is used — the
+        caller picks via ``attributes``.
+        """
+        attrs = attributes if attributes is not None else self.attributes()
+        parts = [self.values.get(a, "") for a in attrs]
+        return separator.join(p for p in parts if p).strip()
+
+    def copy(self) -> "Record":
+        return Record(dict(self.values))
+
+
+@dataclass
+class EntityPair:
+    """A candidate pair with its gold label (1 = match, 0 = no match)."""
+
+    record_a: Record
+    record_b: Record
+    label: int
+
+    def __post_init__(self):
+        if self.label not in (0, 1):
+            raise ValueError(f"label must be 0 or 1, got {self.label!r}")
+
+
+@dataclass
+class DatasetStats:
+    """The Table 3 statistics of a dataset."""
+
+    size: int
+    num_matches: int
+    num_attributes: int
+
+    @property
+    def match_rate(self) -> float:
+        return self.num_matches / self.size if self.size else 0.0
+
+
+@dataclass
+class EMDataset:
+    """A named collection of labeled candidate pairs with a fixed schema."""
+
+    name: str
+    domain: str
+    schema: list[str]
+    pairs: list[EntityPair] = field(default_factory=list)
+    text_attributes: list[str] | None = None  # None -> use all (dirty style)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return EMDataset(self.name, self.domain, list(self.schema),
+                             self.pairs[index],
+                             text_attributes=self.text_attributes)
+        return self.pairs[index]
+
+    def stats(self) -> DatasetStats:
+        return DatasetStats(
+            size=len(self.pairs),
+            num_matches=sum(p.label for p in self.pairs),
+            num_attributes=len(self.schema),
+        )
+
+    def labels(self) -> list[int]:
+        return [p.label for p in self.pairs]
+
+    def serialization_attributes(self) -> list[str]:
+        """Attributes used when serializing records to text blobs."""
+        return self.text_attributes if self.text_attributes else self.schema
+
+    def subset(self, indices: list[int], name_suffix: str = "") -> "EMDataset":
+        return EMDataset(
+            name=self.name + name_suffix,
+            domain=self.domain,
+            schema=list(self.schema),
+            pairs=[self.pairs[i] for i in indices],
+            text_attributes=self.text_attributes,
+        )

@@ -1,0 +1,52 @@
+"""Train/validation/test splitting.
+
+The paper splits each dataset 3:1:1 (60/20/20), stratified so the match
+rate is preserved in every split, and reports all numbers on the test
+split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .records import EMDataset
+
+__all__ = ["DatasetSplits", "split_dataset"]
+
+
+@dataclass
+class DatasetSplits:
+    train: EMDataset
+    validation: EMDataset
+    test: EMDataset
+
+
+def split_dataset(dataset: EMDataset, rng: np.random.Generator,
+                  ratios: tuple[float, float, float] = (0.6, 0.2, 0.2)
+                  ) -> DatasetSplits:
+    """Stratified 3:1:1 split (by match label)."""
+    if abs(sum(ratios) - 1.0) > 1e-9:
+        raise ValueError(f"split ratios must sum to 1: {ratios}")
+    labels = np.asarray(dataset.labels())
+    train_idx: list[int] = []
+    val_idx: list[int] = []
+    test_idx: list[int] = []
+    for label in (0, 1):
+        indices = np.flatnonzero(labels == label)
+        rng.shuffle(indices)
+        n = len(indices)
+        n_train = int(round(n * ratios[0]))
+        n_val = int(round(n * ratios[1]))
+        train_idx.extend(indices[:n_train])
+        val_idx.extend(indices[n_train:n_train + n_val])
+        test_idx.extend(indices[n_train + n_val:])
+    # Shuffle within each split so batches are not label-sorted.
+    for part in (train_idx, val_idx, test_idx):
+        rng.shuffle(part)
+    return DatasetSplits(
+        train=dataset.subset(train_idx, "-train"),
+        validation=dataset.subset(val_idx, "-val"),
+        test=dataset.subset(test_idx, "-test"),
+    )

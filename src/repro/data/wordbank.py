@@ -1,0 +1,157 @@
+"""The shared vocabulary of the synthetic world.
+
+Everything textual in the reproduction — the unsupervised pre-training
+corpus and the five entity-matching datasets — is generated from this word
+bank.  That mirrors the real setup: BERT et al. are pre-trained on English
+text and the EM datasets are English product/citation records, so language
+knowledge transfers.  Here, "language knowledge" is concretely the synonym
+structure: the pre-training corpus uses synonyms interchangeably in
+identical contexts, matching records use *different* synonyms for the same
+entity, and classical string similarity cannot bridge them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SYNONYMS", "BRANDS", "PRODUCT_TYPES", "ADJECTIVES", "COLORS",
+           "COMPONENTS", "UNITS", "GENRES", "VENUES", "FIRST_NAMES",
+           "LAST_NAMES", "SONG_WORDS", "PAPER_TOPICS", "canonical",
+           "synonym_groups", "all_content_words", "sample_synonym"]
+
+# Synonym groups: the first entry is the canonical surface form.  A match
+# pair may render the same underlying concept with any member, so bridging
+# these groups is exactly the signal pre-training provides.
+SYNONYMS: list[list[str]] = [
+    ["phone", "smartphone", "handset", "mobile"],
+    ["laptop", "notebook", "ultrabook"],
+    ["tablet", "slate", "pad"],
+    ["headphones", "earphones", "headset"],
+    ["speaker", "soundbox", "loudspeaker"],
+    ["camera", "shooter", "cam"],
+    ["watch", "timepiece", "wristwatch"],
+    ["television", "tv", "display panel"],
+    ["monitor", "screen", "display"],
+    ["keyboard", "keypad", "typeboard"],
+    ["router", "gateway", "hub"],
+    ["charger", "power adapter", "adapter"],
+    ["battery", "power cell", "cell"],
+    ["printer", "printing machine", "printworks"],
+    ["drive", "disk", "storage unit"],
+    ["wireless", "cordless", "untethered"],
+    ["portable", "compact", "travel size"],
+    ["fast", "quick", "rapid"],
+    ["powerful", "strong", "high performance"],
+    ["slim", "thin", "sleek"],
+    ["durable", "rugged", "robust"],
+    ["premium", "deluxe", "high end"],
+    ["affordable", "budget", "low cost"],
+    ["new", "brand new", "latest"],
+    ["big", "large", "huge"],
+    ["small", "little", "mini"],
+    ["bright", "vivid", "brilliant"],
+    ["quiet", "silent", "noiseless"],
+    ["smart", "intelligent", "clever"],
+    ["light", "lightweight", "featherweight"],
+]
+
+BRANDS: list[str] = [
+    "apexon", "novatek", "zenix", "lumora", "vantor", "cryotech", "heliox",
+    "quantix", "stellar", "orbix", "pyxel", "terravolt", "aerix", "mondial",
+    "kitewave", "solara", "drakon", "velocity", "nimbus", "octavia",
+]
+
+PRODUCT_TYPES: list[str] = [group[0] for group in SYNONYMS[:15]]
+
+ADJECTIVES: list[str] = [group[0] for group in SYNONYMS[15:]]
+
+COLORS: list[str] = ["black", "white", "silver", "red", "blue", "gold",
+                     "green", "gray", "pink", "bronze"]
+
+COMPONENTS: list[str] = [
+    "processor", "chipset", "sensor", "lens", "panel", "amplifier",
+    "antenna", "memory", "cooling system", "microphone", "trackpad",
+    "hinge", "frame", "casing", "interface",
+]
+
+UNITS: list[str] = ["gb", "tb", "mah", "inch", "hz", "mp", "watt", "gram"]
+
+GENRES: list[str] = ["rock", "pop", "jazz", "folk", "electronic", "blues",
+                     "classical", "country", "soul", "ambient"]
+
+VENUES: list[str] = [
+    "sigmod", "vldb", "icde", "edbt", "cidr", "kdd", "www", "acl",
+    "neurips", "icml", "jmlr", "tods", "tkde", "pvldb",
+]
+
+FIRST_NAMES: list[str] = [
+    "ada", "bruno", "carla", "dmitri", "elena", "farid", "greta", "hugo",
+    "ines", "jonas", "keiko", "luis", "mara", "nils", "oriana", "pavel",
+    "quinn", "rosa", "sven", "talia", "ursin", "vera", "wen", "xenia",
+    "yusuf", "zora",
+]
+
+LAST_NAMES: list[str] = [
+    "adler", "brunner", "castillo", "dupont", "eriksen", "fontana",
+    "gruber", "hashimoto", "ivanov", "jensen", "keller", "lindqvist",
+    "moretti", "novak", "okafor", "petrov", "quintana", "rossi",
+    "stockinger", "tanaka", "ulrich", "varga", "weber", "xu", "yamada",
+    "zimmermann",
+]
+
+SONG_WORDS: list[str] = [
+    "midnight", "river", "echo", "golden", "thunder", "velvet", "wild",
+    "horizon", "ember", "crystal", "shadow", "aurora", "drift", "silver",
+    "burning", "hollow", "neon", "winter", "summer", "falling",
+]
+
+PAPER_TOPICS: list[str] = [
+    "query optimization", "entity matching", "data integration",
+    "stream processing", "index structures", "transaction processing",
+    "graph analytics", "schema mapping", "data cleaning",
+    "approximate joins", "cardinality estimation", "record linkage",
+    "machine learning systems", "natural language interfaces",
+]
+
+_CANONICAL: dict[str, str] = {}
+for _group in SYNONYMS:
+    for _word in _group:
+        _CANONICAL[_word] = _group[0]
+
+_GROUP_OF: dict[str, list[str]] = {}
+for _group in SYNONYMS:
+    for _word in _group:
+        _GROUP_OF[_word] = _group
+
+
+def canonical(word: str) -> str:
+    """Map any synonym to its group's canonical form (identity if none)."""
+    return _CANONICAL.get(word, word)
+
+
+def synonym_groups() -> list[list[str]]:
+    return [list(group) for group in SYNONYMS]
+
+
+def sample_synonym(word: str, rng: np.random.Generator,
+                   p_substitute: float = 0.5) -> str:
+    """Replace ``word`` with a random member of its synonym group."""
+    group = _GROUP_OF.get(word)
+    if group is None or rng.random() >= p_substitute:
+        return word
+    alternatives = [w for w in group if w != word]
+    return alternatives[rng.integers(len(alternatives))]
+
+
+def all_content_words() -> list[str]:
+    """Every word the synthetic world can produce (for vocab sizing)."""
+    words: set[str] = set()
+    for group in SYNONYMS:
+        for term in group:
+            words.update(term.split())
+    for bank in (BRANDS, COLORS, COMPONENTS, UNITS, GENRES, VENUES,
+                 FIRST_NAMES, LAST_NAMES, SONG_WORDS):
+        words.update(bank)
+    for topic in PAPER_TOPICS:
+        words.update(topic.split())
+    return sorted(words)

@@ -1,0 +1,23 @@
+"""Benchmark harness: regenerate every table and figure of the paper."""
+
+from .ablations import (AblationResult, ablate_balanced_loss, ablate_dirty,
+                        ablate_pretraining, ablate_serialization)
+from .convergence import ConvergenceSummary, analyze_convergence
+from .experiments import (ALL_ARCHS, ALL_DATASETS, BaselineResult,
+                          CellResult, ExperimentScale, run_baseline_cell,
+                          run_transformer_cell)
+from .figures import FIGURE_DATASETS, FigureResult, figure, figure_curves
+from .tables import (PAPER_TABLE5, PAPER_TABLE6_SECONDS, Table5Row, table3,
+                     table5, table6)
+
+__all__ = [
+    "ExperimentScale", "CellResult", "BaselineResult",
+    "run_transformer_cell", "run_baseline_cell",
+    "ALL_ARCHS", "ALL_DATASETS",
+    "table3", "table5", "table6", "Table5Row",
+    "PAPER_TABLE5", "PAPER_TABLE6_SECONDS",
+    "figure", "figure_curves", "FigureResult", "FIGURE_DATASETS",
+    "analyze_convergence", "ConvergenceSummary",
+    "AblationResult", "ablate_pretraining", "ablate_dirty",
+    "ablate_balanced_loss", "ablate_serialization",
+]

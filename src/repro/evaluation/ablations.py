@@ -1,0 +1,144 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **Pre-training** — fine-tune from the zoo checkpoint vs from random
+   init (the paper's core thesis: pre-training is what makes transformers
+   work on EM with little labeled data).
+2. **Dirty transform** — same dataset clean vs dirty (how much structure
+   destruction costs each method).
+3. **Balanced loss** — class-weighted vs plain cross-entropy at small
+   scale (a reproduction-specific adaptation, quantified).
+4. **Serialization** — all attributes vs title-only text blobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data import load_benchmark, split_dataset
+from ..matching import FineTuneConfig, fine_tune
+from ..models import build_backbone
+from ..pretraining import PretrainedModel, get_pretrained
+from ..utils import child_rng
+from .experiments import ExperimentScale
+
+__all__ = ["AblationResult", "ablate_pretraining", "ablate_dirty",
+           "ablate_balanced_loss", "ablate_serialization"]
+
+
+@dataclass
+class AblationResult:
+    name: str
+    variant_a: str
+    variant_b: str
+    f1_a: float
+    f1_b: float
+
+    @property
+    def delta(self) -> float:
+        return self.f1_a - self.f1_b
+
+    def rendered(self) -> str:
+        return (f"{self.name}: {self.variant_a} {self.f1_a:.1f} vs "
+                f"{self.variant_b} {self.f1_b:.1f} (d {self.delta:+.1f})")
+
+
+def _finetune_f1(pretrained: PretrainedModel, splits, scale: ExperimentScale,
+                 balance: bool = True, text_attributes=None) -> float:
+    config = FineTuneConfig(
+        epochs=scale.epochs, batch_size=scale.batch_size,
+        learning_rate=scale.learning_rate,
+        max_length_cap=scale.max_length_cap, balance_classes=balance)
+    train, test = splits.train, splits.test
+    if text_attributes is not None:
+        train = _with_text_attributes(train, text_attributes)
+        test = _with_text_attributes(test, text_attributes)
+    result = fine_tune(pretrained, train, test, config=config,
+                       seed=scale.run_seed)
+    return result.best_f1 * 100.0
+
+
+def _with_text_attributes(dataset, attributes):
+    from ..data import EMDataset
+    return EMDataset(dataset.name, dataset.domain, list(dataset.schema),
+                     dataset.pairs, text_attributes=list(attributes))
+
+
+def _splits(dataset_name: str, scale: ExperimentScale, variant=None):
+    data = load_benchmark(dataset_name, seed=scale.data_seed,
+                          scale=scale.dataset_scale, variant=variant)
+    return split_dataset(data,
+                         child_rng(scale.data_seed, "split", dataset_name))
+
+
+def ablate_pretraining(arch: str = "roberta",
+                       dataset: str = "walmart-amazon",
+                       scale: ExperimentScale | None = None
+                       ) -> AblationResult:
+    """Pre-trained checkpoint vs random initialization."""
+    scale = scale or ExperimentScale.bench()
+    splits = _splits(dataset, scale)
+    pretrained = get_pretrained(arch, seed=0, settings=scale.zoo_settings,
+                                zoo_dir=scale.zoo_dir)
+    scratch_backbone = build_backbone(pretrained.config,
+                                      child_rng(scale.run_seed, "scratch"))
+    scratch = PretrainedModel(arch, pretrained.config, scratch_backbone,
+                              pretrained.tokenizer, from_cache=False)
+    return AblationResult(
+        name=f"pretraining ({arch} on {dataset})",
+        variant_a="pretrained", variant_b="from-scratch",
+        f1_a=_finetune_f1(pretrained, splits, scale),
+        f1_b=_finetune_f1(scratch, splits, scale),
+    )
+
+
+def ablate_dirty(arch: str = "roberta", dataset: str = "walmart-amazon",
+                 scale: ExperimentScale | None = None) -> AblationResult:
+    """Clean vs dirty variant of the same dataset."""
+    scale = scale or ExperimentScale.bench()
+    pretrained = get_pretrained(arch, seed=0, settings=scale.zoo_settings,
+                                zoo_dir=scale.zoo_dir)
+    clean = _splits(dataset, scale, variant="clean")
+    dirty = _splits(dataset, scale, variant="dirty")
+    return AblationResult(
+        name=f"dirty transform ({arch} on {dataset})",
+        variant_a="clean", variant_b="dirty",
+        f1_a=_finetune_f1(pretrained, clean, scale),
+        f1_b=_finetune_f1(pretrained, dirty, scale),
+    )
+
+
+def ablate_balanced_loss(arch: str = "roberta", dataset: str = "dblp-acm",
+                         scale: ExperimentScale | None = None
+                         ) -> AblationResult:
+    """Class-weighted vs plain cross-entropy during fine-tuning."""
+    scale = scale or ExperimentScale.bench()
+    splits = _splits(dataset, scale)
+    pretrained = get_pretrained(arch, seed=0, settings=scale.zoo_settings,
+                                zoo_dir=scale.zoo_dir)
+    return AblationResult(
+        name=f"balanced loss ({arch} on {dataset})",
+        variant_a="balanced", variant_b="unweighted",
+        f1_a=_finetune_f1(pretrained, splits, scale, balance=True),
+        f1_b=_finetune_f1(pretrained, splits, scale, balance=False),
+    )
+
+
+def ablate_serialization(arch: str = "roberta",
+                         dataset: str = "walmart-amazon",
+                         scale: ExperimentScale | None = None
+                         ) -> AblationResult:
+    """All-attribute serialization vs title-only."""
+    scale = scale or ExperimentScale.bench()
+    splits = _splits(dataset, scale)
+    pretrained = get_pretrained(arch, seed=0, settings=scale.zoo_settings,
+                                zoo_dir=scale.zoo_dir)
+    title = splits.train.schema[0]
+    return AblationResult(
+        name=f"serialization ({arch} on {dataset})",
+        variant_a="all-attributes", variant_b="title-only",
+        f1_a=_finetune_f1(pretrained, splits, scale),
+        f1_b=_finetune_f1(pretrained, splits, scale,
+                          text_attributes=[title]),
+    )

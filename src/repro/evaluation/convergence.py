@@ -1,0 +1,68 @@
+"""Convergence analysis (§5.4): zero-shot performance, epochs to reach a
+band around peak F1, and convergence epoch.
+
+The paper's claims: after one epoch most runs are within 5 % of peak;
+convergence by 3-5 epochs; zero-shot (epoch 0) is poor — the pre-trained
+model knows language, not the matching decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .experiments import CellResult
+
+__all__ = ["ConvergenceSummary", "analyze_convergence"]
+
+
+@dataclass
+class ConvergenceSummary:
+    arch: str
+    dataset: str
+    zero_shot_f1: float
+    peak_f1: float
+    epochs_to_within_5pct: int | None
+    convergence_epoch: int | None
+
+    def holds_one_epoch_claim(self) -> bool:
+        """Within 5 F1 points of peak after one epoch of fine-tuning."""
+        return (self.epochs_to_within_5pct is not None
+                and self.epochs_to_within_5pct <= 1)
+
+
+def analyze_convergence(cell: CellResult,
+                        band: float = 5.0,
+                        stability_window: int = 2) -> ConvergenceSummary:
+    """Summarize a fine-tuning curve.
+
+    ``epochs_to_within_5pct``: first epoch whose F1 is within ``band``
+    points of the curve's peak.  ``convergence_epoch``: first epoch from
+    which F1 stays within the band for ``stability_window`` consecutive
+    epochs.
+    """
+    curve = cell.mean_curve
+    peak = max(curve)
+    threshold = peak - band
+
+    epochs_to_band = None
+    for epoch, value in enumerate(curve):
+        if epoch >= 1 and value >= threshold:
+            epochs_to_band = epoch
+            break
+
+    convergence = None
+    for epoch in range(1, len(curve)):
+        window = curve[epoch:epoch + stability_window]
+        if len(window) == stability_window and all(
+                v >= threshold for v in window):
+            convergence = epoch
+            break
+
+    return ConvergenceSummary(
+        arch=cell.arch,
+        dataset=cell.dataset,
+        zero_shot_f1=curve[0],
+        peak_f1=peak,
+        epochs_to_within_5pct=epochs_to_band,
+        convergence_epoch=convergence,
+    )

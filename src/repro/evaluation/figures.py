@@ -1,0 +1,67 @@
+"""Regeneration of Figures 10-14: F1 vs fine-tuning epoch per architecture.
+
+Each figure is one dataset; each series is one architecture's mean test-F1
+curve over runs, including the epoch-0 zero-shot point.  Output is the
+numeric series (the paper's plots, as data) rendered as aligned text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..utils import format_series, format_table
+from .experiments import (ALL_ARCHS, CellResult, ExperimentScale,
+                          run_transformer_cell)
+
+__all__ = ["FIGURE_DATASETS", "FigureResult", "figure_curves", "figure"]
+
+# Figure number -> dataset, as in the paper.
+FIGURE_DATASETS = {
+    10: "abt-buy",
+    11: "itunes-amazon",
+    12: "walmart-amazon",
+    13: "dblp-acm",
+    14: "dblp-scholar",
+}
+
+
+@dataclass
+class FigureResult:
+    figure_number: int
+    dataset: str
+    curves: dict[str, list[float]] = field(default_factory=dict)
+    cells: dict[str, CellResult] = field(default_factory=dict)
+
+    def rendered(self) -> str:
+        epochs = max(len(c) for c in self.curves.values())
+        rows = []
+        for arch, curve in self.curves.items():
+            rows.append([arch] + [f"{v:.1f}" for v in curve])
+        return format_table(
+            ["arch"] + [f"ep{e}" for e in range(epochs)], rows,
+            title=(f"Figure {self.figure_number} — F1 vs epoch on "
+                   f"{self.dataset} (ep0 = zero-shot)"))
+
+
+def figure_curves(dataset: str, scale: ExperimentScale | None = None,
+                  archs: tuple[str, ...] = ALL_ARCHS,
+                  log=None) -> dict[str, CellResult]:
+    """Fine-tune every architecture on one dataset; return the cells."""
+    scale = scale or ExperimentScale.bench()
+    return {arch: run_transformer_cell(arch, dataset, scale, log=log)
+            for arch in archs}
+
+
+def figure(number: int, scale: ExperimentScale | None = None,
+           archs: tuple[str, ...] = ALL_ARCHS, log=None) -> FigureResult:
+    """Reproduce one of Figures 10-14 by number."""
+    if number not in FIGURE_DATASETS:
+        raise KeyError(f"no figure {number}; have {sorted(FIGURE_DATASETS)}")
+    dataset = FIGURE_DATASETS[number]
+    cells = figure_curves(dataset, scale, archs, log=log)
+    return FigureResult(
+        figure_number=number,
+        dataset=dataset,
+        curves={arch: cell.mean_curve for arch, cell in cells.items()},
+        cells=cells,
+    )

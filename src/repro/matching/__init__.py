@@ -1,0 +1,22 @@
+"""Transformer-based entity matching: the paper's core contribution."""
+
+from .active import (ActiveLearningConfig, ActiveLearningResult,
+                     active_learning_loop, uncertainty_sampling)
+from .api import EntityMatcher
+from .finetune import (EpochRecord, FineTuneConfig, FineTuneResult,
+                       evaluate_classifier, fine_tune)
+from .metrics import (MatchingMetrics, confusion_matrix,
+                      evaluate_predictions, f1_score)
+from .serializer import (EncodedPairs, choose_max_length, encode_dataset,
+                         pair_texts)
+
+__all__ = [
+    "EntityMatcher",
+    "active_learning_loop", "ActiveLearningConfig",
+    "ActiveLearningResult", "uncertainty_sampling",
+    "fine_tune", "FineTuneConfig", "FineTuneResult", "EpochRecord",
+    "evaluate_classifier",
+    "MatchingMetrics", "evaluate_predictions", "f1_score",
+    "confusion_matrix",
+    "pair_texts", "choose_max_length", "encode_dataset", "EncodedPairs",
+]

@@ -1,0 +1,143 @@
+"""High-level entity-matching API.
+
+The one-stop interface a downstream user adopts::
+
+    from repro.matching import EntityMatcher
+
+    matcher = EntityMatcher("roberta")
+    matcher.fit(train_dataset)
+    metrics = matcher.evaluate(test_dataset)
+    label = matcher.match({"title": "apexon phone x1"},
+                          {"title": "apexon smartphone x-1"})
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import EMDataset, EntityPair, Record
+from ..models import ARCHITECTURES
+from ..nn import no_grad
+from ..pretraining import PretrainedModel, ZooSettings, get_pretrained
+from .finetune import FineTuneConfig, FineTuneResult, fine_tune
+from .metrics import MatchingMetrics
+from .serializer import encode_dataset, pair_texts
+
+__all__ = ["EntityMatcher"]
+
+
+class EntityMatcher:
+    """Fine-tunable transformer entity matcher.
+
+    Parameters
+    ----------
+    arch:
+        One of ``bert``, ``roberta``, ``distilbert``, ``xlnet``.
+    pretrained:
+        An already-loaded :class:`PretrainedModel`; if omitted, the model
+        zoo provides (and caches) one.
+    seed:
+        Controls pre-training lookup and fine-tuning shuffling/dropout.
+    """
+
+    def __init__(self, arch: str = "roberta",
+                 pretrained: PretrainedModel | None = None,
+                 seed: int = 0,
+                 zoo_settings: ZooSettings | None = None,
+                 zoo_dir=None,
+                 finetune_config: FineTuneConfig | None = None):
+        if arch not in ARCHITECTURES:
+            raise ValueError(f"unknown architecture {arch!r}; "
+                             f"expected one of {ARCHITECTURES}")
+        self.arch = arch
+        self.seed = seed
+        self.finetune_config = finetune_config or FineTuneConfig()
+        self._pretrained = pretrained
+        self._zoo_settings = zoo_settings
+        self._zoo_dir = zoo_dir
+        self._result: FineTuneResult | None = None
+        self._schema: list[str] | None = None
+        self._text_attributes: list[str] | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def pretrained(self) -> PretrainedModel:
+        if self._pretrained is None:
+            self._pretrained = get_pretrained(
+                self.arch, seed=self.seed, settings=self._zoo_settings,
+                zoo_dir=self._zoo_dir)
+        return self._pretrained
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._result is not None
+
+    def fit(self, train: EMDataset, test: EMDataset | None = None,
+            log=None) -> FineTuneResult:
+        """Fine-tune on ``train``; track per-epoch F1 on ``test`` if given
+        (otherwise on a slice of the training data)."""
+        eval_set = test if test is not None else train[: max(len(train) // 5, 1)]
+        self._schema = list(train.schema)
+        self._text_attributes = train.text_attributes
+        self._result = fine_tune(self.pretrained, train, eval_set,
+                                 config=self.finetune_config,
+                                 seed=self.seed, log=log)
+        return self._result
+
+    # -- inference --------------------------------------------------------------
+
+    def _require_fitted(self) -> FineTuneResult:
+        if self._result is None:
+            raise RuntimeError("call fit() before predicting")
+        return self._result
+
+    def predict(self, dataset: EMDataset,
+                batch_size: int = 64) -> np.ndarray:
+        """Binary match predictions for every pair of ``dataset``."""
+        result = self._require_fitted()
+        encoded = encode_dataset(dataset, self.pretrained.tokenizer,
+                                 result.max_length)
+        result.classifier.eval()
+        outputs = []
+        with no_grad():
+            for start in range(0, len(encoded), batch_size):
+                batch = encoded.batch(np.arange(
+                    start, min(start + batch_size, len(encoded))))
+                logits = result.classifier(
+                    batch.input_ids, segment_ids=batch.segment_ids,
+                    pad_mask=batch.pad_masks,
+                    cls_index=int(batch.cls_indices[0]))
+                outputs.append(logits.numpy().argmax(axis=-1))
+        return np.concatenate(outputs) if outputs else np.array([])
+
+    def evaluate(self, dataset: EMDataset) -> MatchingMetrics:
+        """Precision/recall/F1 on a labeled dataset."""
+        from .metrics import evaluate_predictions
+        predictions = self.predict(dataset)
+        return evaluate_predictions(np.asarray(dataset.labels()),
+                                    predictions)
+
+    def match_probability(self, entity_a: dict | Record,
+                          entity_b: dict | Record) -> float:
+        """Probability that two records refer to the same entity."""
+        result = self._require_fitted()
+        record_a = entity_a if isinstance(entity_a, Record) else Record(dict(entity_a))
+        record_b = entity_b if isinstance(entity_b, Record) else Record(dict(entity_b))
+        schema = self._schema or record_a.attributes()
+        attributes = self._text_attributes or schema
+        pair = EntityPair(record_a, record_b, 0)
+        text_a, text_b = pair_texts(pair, attributes)
+        enc = self.pretrained.tokenizer.encode_pair(
+            text_a, text_b, max_length=result.max_length)
+        result.classifier.eval()
+        with no_grad():
+            probs = result.classifier.predict_proba(
+                enc.input_ids[None, :], segment_ids=enc.segment_ids[None, :],
+                pad_mask=enc.pad_mask[None, :], cls_index=enc.cls_index)
+        return float(probs[0, 1])
+
+    def match(self, entity_a: dict | Record, entity_b: dict | Record,
+              threshold: float = 0.5) -> bool:
+        """Binary match decision for a single record pair."""
+        return self.match_probability(entity_a, entity_b) >= threshold

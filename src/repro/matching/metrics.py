@@ -1,0 +1,80 @@
+"""Evaluation metrics for entity matching.
+
+F1 as the paper defines it (§5.3): recall is true matches predicted over
+all true matches, precision is true matches over predicted matches, F1 is
+their harmonic mean.  Reported on the positive (match) class, the
+convention of the whole EM literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MatchingMetrics", "evaluate_predictions", "f1_score",
+           "confusion_matrix"]
+
+
+@dataclass
+class MatchingMetrics:
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def accuracy(self) -> float:
+        total = (self.true_positives + self.false_positives
+                 + self.false_negatives + self.true_negatives)
+        if total == 0:
+            return 0.0
+        return (self.true_positives + self.true_negatives) / total
+
+    def as_percent(self) -> "MatchingMetrics":
+        """Same metrics with precision/recall/F1 scaled to 0-100."""
+        return MatchingMetrics(
+            precision=self.precision * 100.0,
+            recall=self.recall * 100.0,
+            f1=self.f1 * 100.0,
+            true_positives=self.true_positives,
+            false_positives=self.false_positives,
+            false_negatives=self.false_negatives,
+            true_negatives=self.true_negatives,
+        )
+
+
+def confusion_matrix(y_true: np.ndarray,
+                     y_pred: np.ndarray) -> tuple[int, int, int, int]:
+    """(tp, fp, fn, tn) for binary labels."""
+    y_true = np.asarray(y_true).astype(int)
+    y_pred = np.asarray(y_pred).astype(int)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    tp = int(((y_true == 1) & (y_pred == 1)).sum())
+    fp = int(((y_true == 0) & (y_pred == 1)).sum())
+    fn = int(((y_true == 1) & (y_pred == 0)).sum())
+    tn = int(((y_true == 0) & (y_pred == 0)).sum())
+    return tp, fp, fn, tn
+
+
+def evaluate_predictions(y_true: np.ndarray,
+                         y_pred: np.ndarray) -> MatchingMetrics:
+    """Precision/recall/F1 and the confusion counts of predictions."""
+    tp, fp, fn, tn = confusion_matrix(y_true, y_pred)
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (2 * precision * recall / (precision + recall)
+          if precision + recall else 0.0)
+    return MatchingMetrics(precision=precision, recall=recall, f1=f1,
+                           true_positives=tp, false_positives=fp,
+                           false_negatives=fn, true_negatives=tn)
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Positive-class F1, the EM literature's headline metric."""
+    return evaluate_predictions(y_true, y_pred).f1

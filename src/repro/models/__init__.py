@@ -1,0 +1,22 @@
+"""The four transformer architectures of the paper plus shared blocks."""
+
+from .bert import BertEmbeddings, BertModel, BertPretrainingHeads
+from .config import ARCHITECTURES, TransformerConfig, default_config
+from .distilbert import DistilBertModel
+from .factory import build_backbone, build_pretraining_head
+from .heads import SequenceClassifier
+from .roberta import RobertaModel, RobertaPretrainingHead
+from .transformer import (TransformerEncoder, TransformerEncoderLayer,
+                          sinusoidal_positions)
+from .xlnet import XLNetModel, XLNetRelativeAttention, permutation_masks
+
+__all__ = [
+    "TransformerConfig", "ARCHITECTURES", "default_config",
+    "TransformerEncoder", "TransformerEncoderLayer", "sinusoidal_positions",
+    "BertModel", "BertEmbeddings", "BertPretrainingHeads",
+    "RobertaModel", "RobertaPretrainingHead",
+    "DistilBertModel",
+    "XLNetModel", "XLNetRelativeAttention", "permutation_masks",
+    "SequenceClassifier",
+    "build_backbone", "build_pretraining_head",
+]

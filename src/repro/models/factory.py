@@ -1,0 +1,41 @@
+"""Build any of the four architectures from a config."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Module
+from .bert import BertModel, BertPretrainingHeads
+from .config import TransformerConfig, default_config
+from .distilbert import DistilBertModel
+from .roberta import RobertaModel, RobertaPretrainingHead
+from .xlnet import XLNetModel
+
+__all__ = ["build_backbone", "build_pretraining_head", "default_config"]
+
+
+def build_backbone(config: TransformerConfig,
+                   rng: np.random.Generator) -> Module:
+    """Instantiate the encoder backbone named by ``config.arch``."""
+    if config.arch == "bert":
+        return BertModel(config, rng, with_pooler=True)
+    if config.arch == "roberta":
+        return RobertaModel(config, rng)
+    if config.arch == "distilbert":
+        return DistilBertModel(config, rng)
+    if config.arch == "xlnet":
+        return XLNetModel(config, rng)
+    raise ValueError(f"unknown architecture: {config.arch!r}")
+
+
+def build_pretraining_head(config: TransformerConfig,
+                           rng: np.random.Generator) -> Module:
+    """MLM(+NSP) head matching the architecture's pre-training objective."""
+    if config.arch == "bert":
+        return BertPretrainingHeads(config, rng, with_nsp=True)
+    if config.arch in ("roberta", "distilbert"):
+        return RobertaPretrainingHead(config, rng)
+    if config.arch == "xlnet":
+        # Permutation LM reuses the same transform+decoder head shape.
+        return RobertaPretrainingHead(config, rng)
+    raise ValueError(f"unknown architecture: {config.arch!r}")

@@ -1,0 +1,29 @@
+"""RoBERTa (Liu et al., 2019): the BERT architecture with a different
+pre-training recipe — no NSP objective, dynamic masking, more data and
+longer training.  Architecturally it *is* BertModel; this module exists to
+make the recipe differences explicit and keep checkpoints labelled."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bert import BertModel, BertPretrainingHeads
+from .config import TransformerConfig
+
+__all__ = ["RobertaModel", "RobertaPretrainingHead"]
+
+
+class RobertaModel(BertModel):
+    """BERT-base architecture under RoBERTa's training recipe."""
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator):
+        if config.arch != "roberta":
+            raise ValueError(f"expected arch='roberta', got {config.arch!r}")
+        super().__init__(config, rng, with_pooler=True)
+
+
+class RobertaPretrainingHead(BertPretrainingHeads):
+    """MLM-only head: RoBERTa removes the NSP objective."""
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator):
+        super().__init__(config, rng, with_nsp=False)

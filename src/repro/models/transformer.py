@@ -1,0 +1,162 @@
+"""Transformer encoder blocks (Vaswani et al., 2017) shared by BERT,
+RoBERTa and DistilBERT.  Post-layer-norm residual blocks, GELU feedforward,
+exactly the BERT encoder wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (Dropout, LayerNorm, Linear, Module, ModuleList,
+                  MultiHeadAttention, Tensor)
+from .config import TransformerConfig
+
+__all__ = ["TransformerEncoderLayer", "TransformerEncoder",
+           "sinusoidal_positions", "lexical_match_scores",
+           "cross_match_features"]
+
+
+NUM_MATCH_FEATURES = 4
+
+
+def cross_match_features(embedding_table: np.ndarray,
+                         input_ids: np.ndarray,
+                         segment_ids: np.ndarray,
+                         invalid_ids: set[int]) -> np.ndarray:
+    """Per-position cross-segment matchedness, (B, T, 3).
+
+    For every position: [exact token match exists in the other segment,
+    bigram-exact match (this token AND its successor match consecutively
+    somewhere in the other segment), max cosine similarity, mean cosine
+    similarity] of its raw token embedding against all positions of the
+    *other* segment.  The exact channels are noise-free discrimination (a
+    token with no counterpart is hard evidence against a match; the
+    bigram channel recovers word- and code-level contiguity that subword
+    splitting destroys); the cosine channels add soft synonym bridging
+    learned by pre-training.  Injected as an embedding channel the
+    features are linearly aggregatable by the classifier token.
+    Positions holding special/pad tokens get zeros.
+    """
+    input_ids = np.asarray(input_ids)
+    segment_ids = np.asarray(segment_ids)
+    vectors = embedding_table[input_ids]
+    norms = np.linalg.norm(vectors, axis=-1, keepdims=True)
+    normalized = vectors / np.maximum(norms, 1e-8)
+    similarity = normalized @ np.swapaxes(normalized, -1, -2)  # (B,T,T)
+    cross = segment_ids[:, :, None] != segment_ids[:, None, :]
+    if invalid_ids:
+        invalid = np.isin(input_ids, list(invalid_ids))
+        cross &= ~invalid[:, :, None]
+        cross &= ~invalid[:, None, :]
+    equal = input_ids[:, :, None] == input_ids[:, None, :]
+    masked = np.where(cross, similarity, -np.inf)
+    has_cross = cross.any(axis=-1)
+    exact_pairs = equal & cross
+    exact = exact_pairs.any(axis=-1).astype(np.float32)
+    # Bigram: positions (i, j) match AND (i+1, j+1) match.
+    bigram_pairs = np.zeros_like(exact_pairs)
+    bigram_pairs[:, :-1, :-1] = exact_pairs[:, :-1, :-1] \
+        & exact_pairs[:, 1:, 1:]
+    bigram = bigram_pairs.any(axis=-1).astype(np.float32)
+    best = np.where(has_cross, masked.max(axis=-1), 0.0)
+    counts = np.maximum(cross.sum(axis=-1), 1)
+    mean = np.where(has_cross,
+                    np.where(cross, similarity, 0.0).sum(axis=-1) / counts,
+                    0.0)
+    features = np.stack([exact, bigram, best, mean], axis=-1)
+    if invalid_ids:
+        features[np.isin(input_ids, list(invalid_ids))] = 0.0
+    return features.astype(np.float32)
+
+
+def lexical_match_scores(embedding_table: np.ndarray,
+                         input_ids: np.ndarray,
+                         invalid_ids: set[int]) -> np.ndarray:
+    """Cosine similarity of raw token embeddings, (B, T, T).
+
+    The diagonal and any row/column belonging to a special or padding
+    token are zeroed, so the bias only rewards attention to *other*
+    positions holding lexically similar tokens.  Computed outside the
+    autodiff tape: the bias seeds matching behaviour, while the embedding
+    table keeps training through the ordinary Q/K/V path.
+    """
+    input_ids = np.asarray(input_ids)
+    vectors = embedding_table[input_ids]
+    norms = np.linalg.norm(vectors, axis=-1, keepdims=True)
+    normalized = vectors / np.maximum(norms, 1e-8)
+    match = normalized @ np.swapaxes(normalized, -1, -2)
+    batch, seq = input_ids.shape
+    idx = np.arange(seq)
+    match[:, idx, idx] = 0.0
+    if invalid_ids:
+        invalid = np.isin(input_ids, list(invalid_ids))
+        match[invalid[:, :, None] | invalid[:, None, :]] = 0.0
+    return match.astype(np.float32)
+
+
+def sinusoidal_positions(length: int, d_model: int) -> np.ndarray:
+    """The fixed sine/cosine positional encoding of the original paper."""
+    position = np.arange(length)[:, None]
+    div = np.exp(np.arange(0, d_model, 2) * (-np.log(10000.0) / d_model))
+    table = np.zeros((length, d_model), dtype=np.float32)
+    table[:, 0::2] = np.sin(position * div)
+    table[:, 1::2] = np.cos(position * div[: (d_model + 1) // 2])
+    return table
+
+
+class TransformerEncoderLayer(Module):
+    """One encoder block: self-attention and feedforward, each with a
+    residual connection and post-layer-norm (BERT convention)."""
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator):
+        super().__init__()
+        std = config.initializer_range
+        self.pre_norm = config.pre_norm
+        self.attention = MultiHeadAttention(
+            config.d_model, config.num_heads, rng, dropout=config.dropout,
+            match_bias=config.match_bias)
+        self.attn_norm = LayerNorm(config.d_model, eps=config.layer_norm_eps)
+        self.ff_in = Linear(config.d_model, config.d_ff, rng, std=std)
+        self.ff_out = Linear(config.d_ff, config.d_model, rng, std=std)
+        self.ff_norm = LayerNorm(config.d_model, eps=config.layer_norm_eps)
+        self.dropout = Dropout(config.dropout, rng)
+
+    def forward(self, hidden: Tensor,
+                attention_mask: np.ndarray | None = None,
+                match_scores: np.ndarray | None = None) -> Tensor:
+        if self.pre_norm:
+            attended = self.attention(self.attn_norm(hidden),
+                                      attention_mask=attention_mask,
+                                      match_scores=match_scores)
+            hidden = hidden + self.dropout(attended)
+            transformed = self.ff_out(
+                self.ff_in(self.ff_norm(hidden)).gelu())
+            return hidden + self.dropout(transformed)
+        attended = self.attention(hidden, attention_mask=attention_mask,
+                                  match_scores=match_scores)
+        hidden = self.attn_norm(hidden + self.dropout(attended))
+        transformed = self.ff_out(self.ff_in(hidden).gelu())
+        return self.ff_norm(hidden + self.dropout(transformed))
+
+
+class TransformerEncoder(Module):
+    """A stack of encoder layers."""
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator):
+        super().__init__()
+        self.layers = ModuleList([
+            TransformerEncoderLayer(config, rng)
+            for _ in range(config.num_layers)
+        ])
+
+    def forward(self, hidden: Tensor,
+                attention_mask: np.ndarray | None = None,
+                match_scores: np.ndarray | None = None,
+                return_all: bool = False):
+        all_states = [hidden]
+        for layer in self.layers:
+            hidden = layer(hidden, attention_mask=attention_mask,
+                           match_scores=match_scores)
+            all_states.append(hidden)
+        if return_all:
+            return hidden, all_states
+        return hidden

@@ -1,0 +1,104 @@
+"""Loss functions used across pre-training, distillation and fine-tuning."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["cross_entropy", "binary_cross_entropy_with_logits",
+           "distillation_loss", "cosine_embedding_loss", "mse_loss"]
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  ignore_index: int | None = None,
+                  class_weights: np.ndarray | None = None) -> Tensor:
+    """Mean cross-entropy of (N, C) logits against integer targets.
+
+    Higher-rank logits (e.g. (B, T, V) token predictions) are flattened.
+    Positions whose target equals ``ignore_index`` contribute nothing,
+    which is how non-masked positions are skipped in MLM training.
+    ``class_weights`` rescales each example's loss by the weight of its
+    target class (for imbalanced binary matching).
+    """
+    targets = np.asarray(targets)
+    if logits.ndim > 2:
+        logits = logits.reshape(-1, logits.shape[-1])
+        targets = targets.reshape(-1)
+    log_probs = logits.log_softmax(axis=-1)
+    n = log_probs.shape[0]
+    if class_weights is not None:
+        if ignore_index is not None:
+            raise ValueError("class_weights and ignore_index are exclusive")
+        class_weights = np.asarray(class_weights,
+                                   dtype=log_probs.data.dtype)
+        sample_weights = class_weights[targets]
+        sample_weights = sample_weights / sample_weights.sum()
+        picked = log_probs[np.arange(n), targets]
+        return -(picked * sample_weights).sum()
+    if ignore_index is not None:
+        keep = targets != ignore_index
+        count = int(keep.sum())
+        if count == 0:
+            return (logits * 0.0).sum()
+        safe_targets = np.where(keep, targets, 0)
+        picked = log_probs[np.arange(n), safe_targets]
+        weights = keep.astype(log_probs.data.dtype) / count
+        return -(picked * weights).sum()
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor,
+                                     targets: np.ndarray) -> Tensor:
+    """Numerically stable BCE on raw single-logit outputs."""
+    targets = np.asarray(targets, dtype=logits.data.dtype)
+    probs = logits.sigmoid()
+    eps = 1e-12
+    return -(
+        Tensor(targets) * (probs + eps).log()
+        + Tensor(1.0 - targets) * (1.0 - probs + eps).log()
+    ).mean()
+
+
+def distillation_loss(student_logits: Tensor, teacher_logits: np.ndarray,
+                      temperature: float = 2.0) -> Tensor:
+    """Soft-target KL loss from Hinton et al. used by DistilBERT.
+
+    ``L = -sum_i t_i * log(s_i)`` where both distributions are softened by
+    ``temperature``.  The classic ``T^2`` factor keeps gradient magnitudes
+    comparable with the hard-label loss it is mixed with.
+    """
+    teacher_logits = np.asarray(teacher_logits)
+    t_shifted = teacher_logits / temperature
+    t_shifted = t_shifted - t_shifted.max(axis=-1, keepdims=True)
+    t_probs = np.exp(t_shifted)
+    t_probs /= t_probs.sum(axis=-1, keepdims=True)
+    t_probs = t_probs.astype(student_logits.data.dtype)
+    s_log_probs = (student_logits * (1.0 / temperature)).log_softmax(axis=-1)
+    per_position = -(Tensor(t_probs) * s_log_probs).sum(axis=-1)
+    return per_position.mean() * (temperature ** 2)
+
+
+def cosine_embedding_loss(student_hidden: Tensor,
+                          teacher_hidden: np.ndarray) -> Tensor:
+    """Align the direction of student and teacher hidden states.
+
+    DistilBERT's third loss term: ``1 - cos(h_s, h_t)`` averaged over all
+    positions.
+    """
+    teacher_hidden = np.asarray(teacher_hidden,
+                                dtype=student_hidden.data.dtype)
+    eps = 1e-8
+    dot = (student_hidden * Tensor(teacher_hidden)).sum(axis=-1)
+    s_norm = ((student_hidden * student_hidden).sum(axis=-1) + eps).sqrt()
+    t_norm = np.sqrt((teacher_hidden * teacher_hidden).sum(axis=-1) + eps)
+    cosine = dot / (s_norm * Tensor(t_norm))
+    return (1.0 - cosine).mean()
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target array."""
+    diff = prediction - Tensor(np.asarray(target,
+                                          dtype=prediction.data.dtype))
+    return (diff * diff).mean()

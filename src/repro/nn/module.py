@@ -1,0 +1,134 @@
+"""Module system: parameter containers with named traversal.
+
+Mirrors the small subset of ``torch.nn.Module`` semantics that the
+reproduction needs: attribute-based registration of parameters and
+submodules, recursive iteration, train/eval mode, and a state dict for
+checkpointing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A tensor that is a trainable leaf of a module tree."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+        # Parameters must stay trainable even when created under no_grad.
+        self.requires_grad = True
+
+
+class Module:
+    """Base class for all neural network components."""
+
+    def __init__(self):
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # -- attribute-based registration ---------------------------------------
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- traversal ------------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar weights in the module tree."""
+        return sum(p.size for p in self.parameters())
+
+    # -- train / eval -----------------------------------------------------------
+
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        return OrderedDict(
+            (name, param.data.copy()) for name, param in self.named_parameters())
+
+    def load_state_dict(self, state: dict) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)} "
+                f"unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            value = np.asarray(state[name])
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"checkpoint {value.shape} vs model {param.data.shape}")
+            param.data = value.astype(param.data.dtype)
+
+    # -- calling --------------------------------------------------------------------
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList(Module):
+    """An indexable list of submodules registered under their index."""
+
+    def __init__(self, modules: list[Module] | None = None):
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        self._modules[str(len(self._items))] = module
+        self._items.append(module)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)

@@ -1,0 +1,144 @@
+"""Optimizers and learning-rate schedules.
+
+The paper fine-tunes with Adam and a linear learning-rate schedule, the
+standard recipe for BERT-style classification heads (Devlin et al., 2018).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["SGD", "Adam", "LinearSchedule", "ConstantSchedule",
+           "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= max_norm."""
+    grads = [p.grad for p in parameters if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for g in grads:
+            g *= scale
+    return total
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list."""
+
+    def __init__(self, parameters: list[Parameter]):
+        self.parameters = list(parameters)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: list[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2014) with decoupled weight decay (AdamW-style)."""
+
+    def __init__(self, parameters: list[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        bias1 = 1.0 - self.beta1 ** t
+        bias2 = 1.0 - self.beta2 ** t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (grad * grad)
+            m_hat = m / bias1
+            v_hat = v / bias2
+            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * param.data
+            param.data -= self.lr * update
+
+
+class LinearSchedule:
+    """Linear warmup to ``base_lr`` then linear decay to zero.
+
+    Drives an optimizer's ``lr`` attribute; call :meth:`step` once per
+    optimizer step.
+    """
+
+    def __init__(self, optimizer: Optimizer, base_lr: float,
+                 total_steps: int, warmup_steps: int = 0):
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.optimizer = optimizer
+        self.base_lr = base_lr
+        self.total_steps = total_steps
+        self.warmup_steps = warmup_steps
+        self._step_count = 0
+        self.optimizer.lr = self.current_lr()
+
+    def current_lr(self) -> float:
+        t = self._step_count
+        if self.warmup_steps and t < self.warmup_steps:
+            return self.base_lr * (t + 1) / self.warmup_steps
+        remaining = max(self.total_steps - t, 0)
+        denom = max(self.total_steps - self.warmup_steps, 1)
+        return self.base_lr * remaining / denom
+
+    def step(self) -> None:
+        self._step_count += 1
+        self.optimizer.lr = self.current_lr()
+
+
+class ConstantSchedule:
+    """No-op schedule with the same interface as :class:`LinearSchedule`."""
+
+    def __init__(self, optimizer: Optimizer, base_lr: float):
+        self.optimizer = optimizer
+        self.optimizer.lr = base_lr
+
+    def step(self) -> None:
+        pass

@@ -1,0 +1,117 @@
+"""Recurrent cells and bidirectional wrappers for the DeepMatcher baseline.
+
+The paper's baseline (Mudgal et al., SIGMOD 2018) summarizes attribute
+token sequences with bidirectional GRUs/LSTMs.  Both cell types are
+implemented; sequences are processed step by step on the autodiff tape,
+which is slow but exactly the sequential dependency the paper contrasts
+transformers against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Linear
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["GRUCell", "LSTMCell", "BiRNN"]
+
+
+class GRUCell(Module):
+    """Gated recurrent unit cell (Cho et al., 2014)."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        std = 1.0 / np.sqrt(hidden_size)
+        self.x2h = Linear(input_size, 3 * hidden_size, rng, std=std)
+        self.h2h = Linear(hidden_size, 3 * hidden_size, rng, std=std)
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        gx = self.x2h(x)
+        gh = self.h2h(h)
+        H = self.hidden_size
+        r = (gx[:, 0:H] + gh[:, 0:H]).sigmoid()
+        z = (gx[:, H:2 * H] + gh[:, H:2 * H]).sigmoid()
+        n = (gx[:, 2 * H:] + r * gh[:, 2 * H:]).tanh()
+        return (1.0 - z) * n + z * h
+
+    def initial_state(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.hidden_size), dtype=np.float32))
+
+
+class LSTMCell(Module):
+    """Long short-term memory cell with forget-gate bias of 1."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        std = 1.0 / np.sqrt(hidden_size)
+        self.x2h = Linear(input_size, 4 * hidden_size, rng, std=std)
+        self.h2h = Linear(hidden_size, 4 * hidden_size, rng, std=std)
+        # Standard trick: bias the forget gate open at initialization.
+        self.x2h.bias.data[hidden_size:2 * hidden_size] = 1.0
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]
+                ) -> tuple[Tensor, Tensor]:
+        h, c = state
+        gates = self.x2h(x) + self.h2h(h)
+        H = self.hidden_size
+        i = gates[:, 0:H].sigmoid()
+        f = gates[:, H:2 * H].sigmoid()
+        g = gates[:, 2 * H:3 * H].tanh()
+        o = gates[:, 3 * H:].sigmoid()
+        c_new = f * c + i * g
+        h_new = o * c_new.tanh()
+        return h_new, c_new
+
+    def initial_state(self, batch: int) -> tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch, self.hidden_size), dtype=np.float32)
+        return Tensor(zeros), Tensor(zeros.copy())
+
+
+class BiRNN(Module):
+    """Bidirectional recurrent encoder returning per-step hidden states.
+
+    Output width is ``2 * hidden_size`` (forward and backward states
+    concatenated), matching the DeepMatcher summarizer.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator, cell: str = "gru"):
+        super().__init__()
+        if cell not in ("gru", "lstm"):
+            raise ValueError(f"unknown cell type: {cell!r}")
+        cell_cls = GRUCell if cell == "gru" else LSTMCell
+        self.cell_type = cell
+        self.forward_cell = cell_cls(input_size, hidden_size, rng)
+        self.backward_cell = cell_cls(input_size, hidden_size, rng)
+        self.hidden_size = hidden_size
+
+    def _run(self, cell: Module, steps: list[Tensor], batch: int) -> list[Tensor]:
+        outputs = []
+        if self.cell_type == "gru":
+            h = cell.initial_state(batch)
+            for x in steps:
+                h = cell(x, h)
+                outputs.append(h)
+        else:
+            state = cell.initial_state(batch)
+            for x in steps:
+                state = cell(x, state)
+                outputs.append(state[0])
+        return outputs
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Encode (B, T, D) -> (B, T, 2H)."""
+        batch, seq, _ = x.shape
+        steps = [x[:, t, :] for t in range(seq)]
+        fwd = self._run(self.forward_cell, steps, batch)
+        bwd = self._run(self.backward_cell, steps[::-1], batch)[::-1]
+        combined = [Tensor.concat([f, b], axis=-1) for f, b in zip(fwd, bwd)]
+        return Tensor.stack(combined, axis=1)

@@ -1,0 +1,58 @@
+"""Checkpoint (de)serialization for module state dicts.
+
+Checkpoints are plain ``.npz`` archives mapping parameter names to arrays,
+so they are portable, diffable with numpy, and need no pickle.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "save_module", "load_module"]
+
+_META_KEY = "__meta__"
+
+
+def save_checkpoint(path: str | Path, state: dict,
+                    metadata: dict | None = None) -> None:
+    """Write a name->array state dict (plus JSON metadata) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {name: np.asarray(value) for name, value in state.items()}
+    if metadata is not None:
+        arrays[_META_KEY] = np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as handle:
+        np.savez(handle, **arrays)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str | Path) -> tuple[dict, dict | None]:
+    """Read a checkpoint; returns (state_dict, metadata_or_None)."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files
+                 if name != _META_KEY}
+        metadata = None
+        if _META_KEY in archive.files:
+            metadata = json.loads(archive[_META_KEY].tobytes().decode("utf-8"))
+    return state, metadata
+
+
+def save_module(path: str | Path, module: Module,
+                metadata: dict | None = None) -> None:
+    """Save a module's state dict as a checkpoint file."""
+    save_checkpoint(path, module.state_dict(), metadata=metadata)
+
+
+def load_module(path: str | Path, module: Module) -> dict | None:
+    """Load a checkpoint into ``module``; returns its metadata if any."""
+    state, metadata = load_checkpoint(path)
+    module.load_state_dict(state)
+    return metadata

@@ -1,0 +1,573 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the substrate that replaces PyTorch in the reproduction: a
+small, dependency-free tensor library with a dynamic tape.  Every operation
+records a backward closure on the :class:`Tensor` it produces; calling
+:meth:`Tensor.backward` walks the tape in reverse topological order and
+accumulates gradients into ``.grad``.
+
+Only the operations needed by the transformer architectures, the RNN
+baseline and their training loops are implemented, but each is implemented
+fully (broadcasting-aware, batched where applicable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables tape recording (used at inference)."""
+
+    def __enter__(self):
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+        return False
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record backward closures."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over dimensions that were broadcast from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        if value.dtype == np.float64 or value.dtype == np.float32:
+            return value
+        return value.astype(np.float64)
+    return np.asarray(value, dtype=np.float64)
+
+
+class Tensor:
+    """A numpy array with an optional gradient tape.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float64`` unless already a float
+        numpy array.
+    requires_grad:
+        Whether gradients should flow into this tensor.  Intermediate
+        tensors inherit this from their parents.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # -- construction helpers ------------------------------------------------
+
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def _wrap(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def _make(self, data: np.ndarray, parents: tuple["Tensor", ...]) -> "Tensor":
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = parents
+        return out
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy, detached from the tape)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{grad_note})"
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def __add__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            # Scalar fast path: keeps dtype (NEP 50 weak promotion) and
+            # skips a tape node for the constant.  float() strips numpy
+            # scalar types, which are not "weak" and would upcast.
+            other = float(other)
+            out = self._make(self.data + other, (self,))
+            if out.requires_grad:
+                def _backward(grad, a=self):
+                    a._accumulate(grad)
+                out._backward = _backward
+            return out
+        other = Tensor._wrap(other)
+        out = self._make(self.data + other.data, (self, other))
+        if out.requires_grad:
+            def _backward(grad, a=self, b=other):
+                if a.requires_grad:
+                    a._accumulate(_unbroadcast(grad, a.data.shape))
+                if b.requires_grad:
+                    b._accumulate(_unbroadcast(grad, b.data.shape))
+            out._backward = _backward
+        return out
+
+    def __radd__(self, other) -> "Tensor":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Tensor":
+        out = self._make(-self.data, (self,))
+        if out.requires_grad:
+            def _backward(grad, a=self):
+                a._accumulate(-grad)
+            out._backward = _backward
+        return out
+
+    def __sub__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            return self.__add__(-other)
+        return self.__add__(-Tensor._wrap(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            other = float(other)
+            out = self._make(other - self.data, (self,))
+            if out.requires_grad:
+                def _backward(grad, a=self):
+                    a._accumulate(-grad)
+                out._backward = _backward
+            return out
+        return Tensor._wrap(other).__add__(-self)
+
+    def __mul__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            other = float(other)
+            out = self._make(self.data * other, (self,))
+            if out.requires_grad:
+                def _backward(grad, a=self, s=other):
+                    a._accumulate(grad * s)
+                out._backward = _backward
+            return out
+        other = Tensor._wrap(other)
+        out = self._make(self.data * other.data, (self, other))
+        if out.requires_grad:
+            def _backward(grad, a=self, b=other):
+                if a.requires_grad:
+                    a._accumulate(_unbroadcast(grad * b.data, a.data.shape))
+                if b.requires_grad:
+                    b._accumulate(_unbroadcast(grad * a.data, b.data.shape))
+            out._backward = _backward
+        return out
+
+    def __rmul__(self, other) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            return self.__mul__(1.0 / other)
+        other = Tensor._wrap(other)
+        out = self._make(self.data / other.data, (self, other))
+        if out.requires_grad:
+            def _backward(grad, a=self, b=other):
+                if a.requires_grad:
+                    a._accumulate(_unbroadcast(grad / b.data, a.data.shape))
+                if b.requires_grad:
+                    b._accumulate(_unbroadcast(
+                        -grad * a.data / (b.data * b.data), b.data.shape))
+            out._backward = _backward
+        return out
+
+    def __rtruediv__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            data = float(other) / self.data
+            out = self._make(data, (self,))
+            if out.requires_grad:
+                def _backward(grad, a=self, d=data):
+                    a._accumulate(-grad * d / a.data)
+                out._backward = _backward
+            return out
+        return Tensor._wrap(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        out = self._make(self.data ** exponent, (self,))
+        if out.requires_grad:
+            def _backward(grad, a=self, n=exponent):
+                a._accumulate(grad * n * a.data ** (n - 1))
+            out._backward = _backward
+        return out
+
+    def __matmul__(self, other) -> "Tensor":
+        other = Tensor._wrap(other)
+        out = self._make(self.data @ other.data, (self, other))
+        if out.requires_grad:
+            def _backward(grad, a=self, b=other):
+                if a.requires_grad:
+                    ga = grad @ np.swapaxes(b.data, -1, -2)
+                    a._accumulate(_unbroadcast(ga, a.data.shape))
+                if b.requires_grad:
+                    gb = np.swapaxes(a.data, -1, -2) @ grad
+                    b._accumulate(_unbroadcast(gb, b.data.shape))
+            out._backward = _backward
+        return out
+
+    # -- elementwise functions -------------------------------------------------
+
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+        out = self._make(data, (self,))
+        if out.requires_grad:
+            def _backward(grad, a=self, d=data):
+                a._accumulate(grad * d)
+            out._backward = _backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = self._make(np.log(self.data), (self,))
+        if out.requires_grad:
+            def _backward(grad, a=self):
+                a._accumulate(grad / a.data)
+            out._backward = _backward
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+        out = self._make(data, (self,))
+        if out.requires_grad:
+            def _backward(grad, a=self, d=data):
+                a._accumulate(grad * (1.0 - d * d))
+            out._backward = _backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+        out = self._make(data, (self,))
+        if out.requires_grad:
+            def _backward(grad, a=self, d=data):
+                a._accumulate(grad * d * (1.0 - d))
+            out._backward = _backward
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = self._make(self.data * mask, (self,))
+        if out.requires_grad:
+            def _backward(grad, a=self, m=mask):
+                a._accumulate(grad * m)
+            out._backward = _backward
+        return out
+
+    def gelu(self) -> "Tensor":
+        """Gaussian error linear unit (tanh approximation, as in BERT)."""
+        x = self.data
+        c = float(np.sqrt(2.0 / np.pi))
+        inner = c * (x + 0.044715 * x ** 3)
+        t = np.tanh(inner)
+        data = 0.5 * x * (1.0 + t)
+        out = self._make(data, (self,))
+        if out.requires_grad:
+            def _backward(grad, a=self, t=t, inner_c=c):
+                x = a.data
+                dt = (1.0 - t * t) * inner_c * (1.0 + 3 * 0.044715 * x ** 2)
+                a._accumulate(grad * (0.5 * (1.0 + t) + 0.5 * x * dt))
+            out._backward = _backward
+        return out
+
+    # -- reductions --------------------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,))
+        if out.requires_grad:
+            def _backward(grad, a=self, axis=axis, keepdims=keepdims):
+                g = grad
+                if axis is not None and not keepdims:
+                    g = np.expand_dims(g, axis=axis)
+                a._accumulate(np.broadcast_to(g, a.data.shape).copy())
+            out._backward = _backward
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[i] for i in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+        out = self._make(data, (self,))
+        if out.requires_grad:
+            def _backward(grad, a=self, axis=axis, keepdims=keepdims, d=data):
+                g = grad
+                m = d
+                if axis is not None and not keepdims:
+                    g = np.expand_dims(g, axis=axis)
+                    m = np.expand_dims(m, axis=axis)
+                mask = (a.data == m).astype(a.data.dtype)
+                # Split gradient evenly among ties to keep it well-defined.
+                mask /= np.maximum(
+                    mask.sum(axis=axis, keepdims=True) if axis is not None
+                    else mask.sum(), 1.0)
+                a._accumulate(g * mask)
+            out._backward = _backward
+        return out
+
+    # -- shape manipulation --------------------------------------------------------
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = self._make(self.data.reshape(shape), (self,))
+        if out.requires_grad:
+            def _backward(grad, a=self):
+                a._accumulate(grad.reshape(a.data.shape))
+            out._backward = _backward
+        return out
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        out = self._make(self.data.transpose(axes), (self,))
+        if out.requires_grad:
+            inverse = tuple(np.argsort(axes))
+            def _backward(grad, a=self, inv=inverse):
+                a._accumulate(grad.transpose(inv))
+            out._backward = _backward
+        return out
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.data.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(*axes)
+
+    def __getitem__(self, index) -> "Tensor":
+        out = self._make(self.data[index], (self,))
+        if out.requires_grad:
+            def _backward(grad, a=self, idx=index):
+                full = np.zeros_like(a.data)
+                np.add.at(full, idx, grad)
+                a._accumulate(full)
+            out._backward = _backward
+        return out
+
+    @staticmethod
+    def concat(tensors: list["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._wrap(t) for t in tensors]
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        out = tensors[0]._make(data, tuple(tensors))
+        if out.requires_grad:
+            sizes = [t.data.shape[axis] for t in tensors]
+            offsets = np.cumsum([0] + sizes)
+            def _backward(grad, ts=tensors, offs=offsets, axis=axis):
+                for t, start, stop in zip(ts, offs[:-1], offs[1:]):
+                    if t.requires_grad:
+                        sl = [slice(None)] * grad.ndim
+                        sl[axis] = slice(start, stop)
+                        t._accumulate(grad[tuple(sl)])
+            out._backward = _backward
+        return out
+
+    @staticmethod
+    def stack(tensors: list["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._wrap(t) for t in tensors]
+        data = np.stack([t.data for t in tensors], axis=axis)
+        out = tensors[0]._make(data, tuple(tensors))
+        if out.requires_grad:
+            def _backward(grad, ts=tensors, axis=axis):
+                pieces = np.split(grad, len(ts), axis=axis)
+                for t, piece in zip(ts, pieces):
+                    if t.requires_grad:
+                        t._accumulate(np.squeeze(piece, axis=axis))
+            out._backward = _backward
+        return out
+
+    # -- structured operations -------------------------------------------------------
+
+    def embedding(self, ids: np.ndarray) -> "Tensor":
+        """Row lookup ``self[ids]`` where ``self`` is a (V, D) table."""
+        ids = np.asarray(ids)
+        out = self._make(self.data[ids], (self,))
+        if out.requires_grad:
+            def _backward(grad, a=self, ids=ids):
+                full = np.zeros_like(a.data)
+                np.add.at(full, ids.reshape(-1),
+                          grad.reshape(-1, a.data.shape[-1]))
+                a._accumulate(full)
+            out._backward = _backward
+        return out
+
+    def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
+        """Return a copy with entries where ``mask`` is true set to ``value``."""
+        mask = np.asarray(mask, dtype=bool)
+        data = np.where(mask, value, self.data)
+        out = self._make(data, (self,))
+        if out.requires_grad:
+            def _backward(grad, a=self, m=mask):
+                a._accumulate(np.where(m, 0.0, grad))
+            out._backward = _backward
+        return out
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        data = exp / exp.sum(axis=axis, keepdims=True)
+        out = self._make(data, (self,))
+        if out.requires_grad:
+            def _backward(grad, a=self, s=data, axis=axis):
+                dot = (grad * s).sum(axis=axis, keepdims=True)
+                a._accumulate(s * (grad - dot))
+            out._backward = _backward
+        return out
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        data = shifted - log_z
+        out = self._make(data, (self,))
+        if out.requires_grad:
+            softmax = np.exp(data)
+            def _backward(grad, a=self, s=softmax, axis=axis):
+                a._accumulate(grad - s * grad.sum(axis=axis, keepdims=True))
+            out._backward = _backward
+        return out
+
+    def dropout(self, p: float, rng: np.random.Generator) -> "Tensor":
+        """Inverted dropout; identity when grad is disabled (inference)."""
+        if not _GRAD_ENABLED or p <= 0.0:
+            return self
+        keep = 1.0 - p
+        mask = ((rng.random(self.data.shape) < keep) / keep).astype(
+            self.data.dtype)
+        out = self._make(self.data * mask, (self,))
+        if out.requires_grad:
+            def _backward(grad, a=self, m=mask):
+                a._accumulate(grad * m)
+            out._backward = _backward
+        return out
+
+    def layer_norm(self, weight: "Tensor", bias: "Tensor",
+                   eps: float = 1e-5) -> "Tensor":
+        """Fused layer normalization over the last axis."""
+        mu = self.data.mean(axis=-1, keepdims=True)
+        var = self.data.var(axis=-1, keepdims=True)
+        inv = 1.0 / np.sqrt(var + eps)
+        x_hat = (self.data - mu) * inv
+        data = x_hat * weight.data + bias.data
+        out = self._make(data, (self, weight, bias))
+        if out.requires_grad:
+            def _backward(grad, a=self, w=weight, b=bias, x_hat=x_hat, inv=inv):
+                if w.requires_grad:
+                    axes = tuple(range(grad.ndim - 1))
+                    w._accumulate((grad * x_hat).sum(axis=axes))
+                if b.requires_grad:
+                    axes = tuple(range(grad.ndim - 1))
+                    b._accumulate(grad.sum(axis=axes))
+                if a.requires_grad:
+                    n = a.data.shape[-1]
+                    g = grad * w.data
+                    term1 = g
+                    term2 = g.mean(axis=-1, keepdims=True)
+                    term3 = x_hat * (g * x_hat).mean(axis=-1, keepdims=True)
+                    a._accumulate(inv * (term1 - term2 - term3))
+            out._backward = _backward
+        return out
+
+    # -- autograd ----------------------------------------------------------------
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.copy() if grad.base is not None else grad
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded tape."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor without grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar output")
+            grad = np.ones_like(self.data)
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+        self._accumulate(np.asarray(grad, dtype=self.data.dtype))
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+                # Free intermediate gradients eagerly; keep leaves.
+                if node._parents:
+                    node.grad = None
+
+    def zero_grad(self) -> None:
+        self.grad = None

@@ -1,0 +1,21 @@
+"""Pre-training: corpus, objectives (MLM/NSP/PLM), distillation, zoo."""
+
+from .corpus import generate_corpus, generate_documents
+from .distillation import DistillationRecipe, distill
+from .mlm import IGNORE_INDEX, MaskedBatch, mask_tokens
+from .model_zoo import (PretrainedModel, ZooSettings, clear_zoo,
+                        default_zoo_dir, get_pretrained)
+from .nsp import SentencePair, build_nsp_examples
+from .plm import PermutationBatch, sample_permutation_batch
+from .trainer import PretrainRecipe, PretrainResult, pretrain
+
+__all__ = [
+    "generate_corpus", "generate_documents",
+    "mask_tokens", "MaskedBatch", "IGNORE_INDEX",
+    "build_nsp_examples", "SentencePair",
+    "sample_permutation_batch", "PermutationBatch",
+    "pretrain", "PretrainRecipe", "PretrainResult",
+    "distill", "DistillationRecipe",
+    "get_pretrained", "PretrainedModel", "ZooSettings",
+    "default_zoo_dir", "clear_zoo",
+]

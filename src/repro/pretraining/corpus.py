@@ -1,0 +1,279 @@
+"""Synthetic pre-training corpus.
+
+Plays the role of BooksCorpus/Wikipedia: unlabeled text in the same
+"language" as the downstream EM datasets (the shared word bank).  The
+crucial property is that synonyms appear interchangeably in identical
+contexts — MLM training then pulls their representations together, which
+is precisely the transferable knowledge that lets a pre-trained
+transformer bridge surface-form differences between matching entities.
+
+Documents are short multi-sentence passages about one entity, so the
+consecutive-sentence structure needed by BERT's NSP objective exists.
+RoBERTa's "10x more data" is reproduced by generating a larger corpus
+(see ``repro.pretraining.model_zoo``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import wordbank
+
+__all__ = ["generate_corpus", "generate_documents",
+           "generate_labeled_documents"]
+
+_PRODUCT_TEMPLATES = [
+    "the {adj0} {brand} {ptype} features a {adj1} {component}",
+    "this {ptype} by {brand} has a {adj0} {component} and {num} {unit}",
+    "a {adj0} and {adj1} {ptype} with {num} {unit} in {color}",
+    "{brand} announced a {adj0} {ptype} with {adj1} {component}",
+    "the {ptype} is {adj0} {adj1} and comes in {color}",
+    "buy the {adj0} {brand} {ptype} now available in {color}",
+    "its {component} is {adj0} while the {ptype} stays {adj1}",
+    "with {num} {unit} this {ptype} is the most {adj0} device",
+    "a {adj0} {ptype} needs a {adj1} {component}",
+    "the {color} {ptype} from {brand} is {adj0} and {adj1}",
+]
+
+_MUSIC_TEMPLATES = [
+    "{artist} released the song {song} on the album {album}",
+    "the {genre} track {song} by {artist} lasts {num} seconds",
+    "{song} is a {genre} song from the album {album}",
+    "listen to {artist} and the {genre} hit {song}",
+    "the album {album} by {artist} includes the track {song}",
+]
+
+_CITATION_TEMPLATES = [
+    "{author} published a paper on {topic} at {venue}",
+    "the paper about {topic} appeared in {venue} in {year}",
+    "{author} and {author2} study {topic} in their {venue} paper",
+    "a survey of {topic} was presented at {venue}",
+    "recent work on {topic} improves earlier {venue} results",
+]
+
+
+def _pick(rng: np.random.Generator, items: list[str]) -> str:
+    return items[rng.integers(len(items))]
+
+
+def _synonym_form(rng: np.random.Generator, group: list[str]) -> str:
+    """Any member of a synonym group, uniformly — this interchangeability
+    is what teaches the model the groups."""
+    return group[rng.integers(len(group))]
+
+
+def _product_sentence(rng: np.random.Generator) -> str:
+    groups = wordbank.synonym_groups()
+    type_groups = groups[:15]
+    adj_groups = groups[15:]
+    template = _pick(rng, _PRODUCT_TEMPLATES)
+    adj_a = adj_groups[rng.integers(len(adj_groups))]
+    adj_b = adj_groups[rng.integers(len(adj_groups))]
+    return template.format(
+        brand=_pick(rng, wordbank.BRANDS),
+        ptype=_synonym_form(rng, type_groups[rng.integers(len(type_groups))]),
+        adj0=_synonym_form(rng, adj_a),
+        adj1=_synonym_form(rng, adj_b),
+        component=_pick(rng, wordbank.COMPONENTS),
+        color=_pick(rng, wordbank.COLORS),
+        num=str(rng.integers(2, 999)),
+        unit=_pick(rng, wordbank.UNITS),
+    )
+
+
+def _music_sentence(rng: np.random.Generator) -> str:
+    template = _pick(rng, _MUSIC_TEMPLATES)
+    return template.format(
+        artist=f"{_pick(rng, wordbank.FIRST_NAMES)} "
+               f"{_pick(rng, wordbank.LAST_NAMES)}",
+        song=" ".join(rng.choice(wordbank.SONG_WORDS, 2, replace=False)),
+        album=" ".join(rng.choice(wordbank.SONG_WORDS, 2, replace=False)),
+        genre=_pick(rng, wordbank.GENRES),
+        num=str(rng.integers(90, 400)),
+    )
+
+
+def _citation_sentence(rng: np.random.Generator) -> str:
+    template = _pick(rng, _CITATION_TEMPLATES)
+    return template.format(
+        author=f"{_pick(rng, wordbank.FIRST_NAMES)} "
+               f"{_pick(rng, wordbank.LAST_NAMES)}",
+        author2=f"{_pick(rng, wordbank.FIRST_NAMES)} "
+                f"{_pick(rng, wordbank.LAST_NAMES)}",
+        topic=_pick(rng, wordbank.PAPER_TOPICS),
+        venue=_pick(rng, wordbank.VENUES),
+        year=str(rng.integers(1998, 2019)),
+    )
+
+
+_DOMAIN_SAMPLERS = (_product_sentence, _music_sentence, _citation_sentence)
+_DOMAIN_WEIGHTS = (0.6, 0.2, 0.2)
+
+
+def _product_document(rng: np.random.Generator, length: int) -> list[str]:
+    """Sentences about ONE product: slots fixed, synonyms resampled."""
+    groups = wordbank.synonym_groups()
+    type_group = groups[:15][rng.integers(15)]
+    adj_group_a = groups[15:][rng.integers(len(groups) - 15)]
+    adj_group_b = groups[15:][rng.integers(len(groups) - 15)]
+    slots = {
+        "brand": _pick(rng, wordbank.BRANDS),
+        "component": _pick(rng, wordbank.COMPONENTS),
+        "color": _pick(rng, wordbank.COLORS),
+        "num": str(rng.integers(2, 999)),
+        "unit": _pick(rng, wordbank.UNITS),
+    }
+    sentences = []
+    for _ in range(length):
+        template = _pick(rng, _PRODUCT_TEMPLATES)
+        sentences.append(template.format(
+            ptype=_synonym_form(rng, type_group),
+            adj0=_synonym_form(rng, adj_group_a),
+            adj1=_synonym_form(rng, adj_group_b),
+            **slots))
+    return sentences
+
+
+def _music_document(rng: np.random.Generator, length: int) -> list[str]:
+    slots = {
+        "artist": f"{_pick(rng, wordbank.FIRST_NAMES)} "
+                  f"{_pick(rng, wordbank.LAST_NAMES)}",
+        "song": " ".join(rng.choice(wordbank.SONG_WORDS, 2, replace=False)),
+        "album": " ".join(rng.choice(wordbank.SONG_WORDS, 2, replace=False)),
+        "genre": _pick(rng, wordbank.GENRES),
+    }
+    return [_pick(rng, _MUSIC_TEMPLATES).format(
+        num=str(rng.integers(90, 400)), **slots) for _ in range(length)]
+
+
+def _citation_document(rng: np.random.Generator, length: int) -> list[str]:
+    slots = {
+        "author": f"{_pick(rng, wordbank.FIRST_NAMES)} "
+                  f"{_pick(rng, wordbank.LAST_NAMES)}",
+        "author2": f"{_pick(rng, wordbank.FIRST_NAMES)} "
+                   f"{_pick(rng, wordbank.LAST_NAMES)}",
+        "topic": _pick(rng, wordbank.PAPER_TOPICS),
+        "venue": _pick(rng, wordbank.VENUES),
+    }
+    return [_pick(rng, _CITATION_TEMPLATES).format(
+        year=str(rng.integers(1998, 2019)), **slots) for _ in range(length)]
+
+
+_DOCUMENT_SAMPLERS = (_product_document, _music_document,
+                      _citation_document)
+
+
+_DOMAIN_NAMES = ("products", "music", "citation")
+
+
+def generate_labeled_documents(rng: np.random.Generator,
+                               num_documents: int,
+                               sentences_per_document: tuple[int, int]
+                               = (3, 7)) -> list[tuple[str, list[str]]]:
+    """(domain, document) pairs; a document is about ONE entity.
+
+    Consecutive sentences share most content words (possibly through
+    synonyms) — the structure that (a) makes the coherence objective
+    non-trivial and (b) lets MLM learn to copy a masked token from the
+    other segment, the attention pattern entity matching later exploits.
+    """
+    documents: list[tuple[str, list[str]]] = []
+    for _ in range(num_documents):
+        length = int(rng.integers(*sentences_per_document))
+        if rng.random() < 0.5:
+            choice = rng.choice(len(_DOCUMENT_SAMPLERS), p=_DOMAIN_WEIGHTS)
+            sampler = _DOCUMENT_SAMPLERS[choice]
+            documents.append((_DOMAIN_NAMES[choice], sampler(rng, length)))
+        else:
+            choice = rng.choice(len(_LISTING_SAMPLERS), p=_DOMAIN_WEIGHTS)
+            sampler = _LISTING_SAMPLERS[choice]
+            documents.append((_LISTING_NAMES[choice], sampler(rng, length)))
+    return documents
+
+
+def generate_documents(rng: np.random.Generator,
+                       num_documents: int,
+                       sentences_per_document: tuple[int, int] = (3, 7)
+                       ) -> list[list[str]]:
+    """Unlabeled variant of :func:`generate_labeled_documents`."""
+    return [doc for _, doc in generate_labeled_documents(
+        rng, num_documents, sentences_per_document)]
+
+
+def generate_corpus(rng: np.random.Generator,
+                    num_sentences: int) -> list[str]:
+    """A flat list of sentences (for tokenizer training and MLM)."""
+    sentences: list[str] = []
+    while len(sentences) < num_sentences:
+        sampler = _DOMAIN_SAMPLERS[
+            rng.choice(len(_DOMAIN_SAMPLERS), p=_DOMAIN_WEIGHTS)]
+        sentences.append(sampler(rng))
+    return sentences
+
+
+# ---------------------------------------------------------------------------
+# Listing documents: record-style text, the web's semi-structured side.
+#
+# Real pre-training corpora contain product listings, bibliographies and
+# track lists — text that looks like database records, not prose.  These
+# documents render ONE entity several times through the same noisy-view
+# machinery the benchmark generators use, so the corpus covers the blob
+# style the downstream EM task feeds the model (codes, prices, years,
+# attribute concatenations).  Unlabeled text, same universe — the synthetic
+# analogue of "Amazon pages are in Wikipedia+BooksCorpus-scale crawls".
+# ---------------------------------------------------------------------------
+
+from ..data.generators._base import NoiseProfile as _NoiseProfile
+from ..data.generators import universe as _universe
+
+_LISTING_PROFILE = _NoiseProfile(
+    p_synonym=0.4, p_typo=0.03, p_drop_word=0.08,
+    p_missing_attr=0.1, p_code_drift=0.5)
+
+_PRODUCT_SCHEMAS = (
+    ["title", "brand", "price"],
+    ["name", "description", "price"],
+    ["title", "category", "brand", "modelno", "price"],
+)
+_MUSIC_SCHEMA = ["song_name", "artist_name", "album_name", "genre",
+                 "price", "time", "released"]
+_CITATION_SCHEMA = ["title", "authors", "venue", "year"]
+
+
+def _product_listing_document(rng: np.random.Generator,
+                              length: int) -> list[str]:
+    entity = _universe.sample_product(rng)
+    blobs = []
+    for _ in range(length):
+        schema = _PRODUCT_SCHEMAS[rng.integers(len(_PRODUCT_SCHEMAS))]
+        record = _universe.render_product(entity, list(schema),
+                                          _LISTING_PROFILE, rng)
+        blobs.append(record.text_blob(list(schema)))
+    return blobs
+
+
+def _music_listing_document(rng: np.random.Generator,
+                            length: int) -> list[str]:
+    entity = _universe.sample_music(rng)
+    return [
+        _universe.render_music(entity, list(_MUSIC_SCHEMA),
+                               _LISTING_PROFILE, rng)
+        .text_blob(list(_MUSIC_SCHEMA))
+        for _ in range(length)
+    ]
+
+
+def _citation_listing_document(rng: np.random.Generator,
+                               length: int) -> list[str]:
+    entity = _universe.sample_citation(rng)
+    return [
+        _universe.render_citation(entity, list(_CITATION_SCHEMA),
+                                  _LISTING_PROFILE, rng)
+        .text_blob(list(_CITATION_SCHEMA))
+        for _ in range(length)
+    ]
+
+
+_LISTING_SAMPLERS = (_product_listing_document, _music_listing_document,
+                     _citation_listing_document)
+_LISTING_NAMES = ("products-listing", "music-listing", "citation-listing")

@@ -1,0 +1,137 @@
+"""Knowledge distillation: training DistilBERT from a BERT teacher.
+
+Implements the triple loss of Sanh et al. (2019):
+
+* **distillation loss** — KL between temperature-softened teacher and
+  student MLM distributions (the "dark knowledge" / soft targets);
+* **MLM loss** — the usual hard-label masked LM loss;
+* **cosine embedding loss** — aligns the direction of student and teacher
+  hidden states.
+
+Distillation happens on the *general-purpose* model before any
+fine-tuning, exactly as the paper describes (§4.4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models import build_backbone, build_pretraining_head
+from ..models.config import TransformerConfig
+from ..nn import (Adam, LinearSchedule, Module, Tensor, clip_grad_norm,
+                  cosine_embedding_loss, cross_entropy, distillation_loss,
+                  no_grad)
+from ..tokenizers import SubwordTokenizer
+from .corpus import generate_labeled_documents
+from .mlm import IGNORE_INDEX, mask_tokens
+from .nsp import build_nsp_examples
+from .trainer import PretrainResult, _encode_pairs
+
+__all__ = ["DistillationRecipe", "distill"]
+
+
+@dataclass
+class DistillationRecipe:
+    steps: int = 300
+    batch_size: int = 16
+    seq_len: int = 48
+    learning_rate: float = 3e-4
+    warmup_fraction: float = 0.1
+    num_sentences: int = 2000
+    temperature: float = 2.0
+    alpha_distill: float = 0.5
+    alpha_mlm: float = 0.35
+    alpha_cosine: float = 0.15
+    # Same scale-bridging coherence objective as the other recipes; the
+    # student trains it directly on its CLS state (it has no pooler).
+    coherence_weight: float = 1.0
+    grad_clip: float = 1.0
+
+
+def distill(student_config: TransformerConfig,
+            teacher_backbone: Module, teacher_head: Module,
+            tokenizer: SubwordTokenizer, recipe: DistillationRecipe,
+            rng: np.random.Generator, log=None) -> PretrainResult:
+    """Distill a BERT teacher into a DistilBERT student."""
+    if student_config.arch != "distilbert":
+        raise ValueError("distillation target must be a distilbert config")
+    student = build_backbone(student_config, rng)
+    student.special_token_ids = tokenizer.vocab.special_ids()
+    head = build_pretraining_head(student_config, rng)
+    parameters = student.parameters() + head.parameters()
+    coherence_head = None
+    if recipe.coherence_weight > 0.0:
+        from ..nn import Linear
+        coherence_head = Linear(student_config.d_model, 2, rng,
+                                std=1.0 / np.sqrt(student_config.d_model))
+        parameters = parameters + coherence_head.parameters()
+    optimizer = Adam(parameters, lr=recipe.learning_rate)
+    schedule = LinearSchedule(
+        optimizer, recipe.learning_rate, total_steps=recipe.steps,
+        warmup_steps=max(int(recipe.steps * recipe.warmup_fraction), 1))
+
+    teacher_backbone.eval()
+    teacher_head.eval()
+
+    labeled = generate_labeled_documents(
+        rng, max(recipe.num_sentences // 5, 50))
+    documents = [doc for _, doc in labeled]
+    domains = [domain for domain, _ in labeled]
+    examples = build_nsp_examples(documents, rng,
+                                  num_examples=recipe.num_sentences,
+                                  coherent_fraction=0.5, domains=domains)
+    all_ids, all_segments, all_pads, all_next, _ = _encode_pairs(
+        tokenizer, examples, recipe.seq_len)
+
+    history: list[float] = []
+    n = all_ids.shape[0]
+    for step in range(recipe.steps):
+        batch_idx = rng.integers(0, n, size=recipe.batch_size)
+        ids = all_ids[batch_idx]
+        segments = all_segments[batch_idx]
+        pads = all_pads[batch_idx]
+        masked = mask_tokens(ids, tokenizer.vocab, rng)
+
+        with no_grad():
+            teacher_hidden = teacher_backbone(
+                masked.input_ids, segment_ids=segments, pad_mask=pads)
+            teacher_logits = teacher_head.mlm_logits(teacher_hidden).numpy()
+            teacher_states = teacher_hidden.numpy()
+
+        optimizer.zero_grad()
+        student_hidden = student(masked.input_ids, pad_mask=pads)
+        student_logits = head.mlm_logits(student_hidden)
+
+        # Soft targets only matter at prediction positions.
+        predict = masked.targets != IGNORE_INDEX
+        if not predict.any():
+            continue
+        s_sel = student_logits[predict]
+        t_sel = teacher_logits[predict]
+        loss = (
+            recipe.alpha_distill * distillation_loss(
+                s_sel, t_sel, temperature=recipe.temperature)
+            + recipe.alpha_mlm * cross_entropy(
+                student_logits, masked.targets, ignore_index=IGNORE_INDEX)
+            + recipe.alpha_cosine * cosine_embedding_loss(
+                student_hidden, teacher_states)
+        )
+        if coherence_head is not None:
+            pooled = student.pooled_output(student_hidden, cls_index=0)
+            loss = loss + recipe.coherence_weight * cross_entropy(
+                coherence_head(pooled), all_next[batch_idx])
+        loss.backward()
+        clip_grad_norm(parameters, recipe.grad_clip)
+        optimizer.step()
+        schedule.step()
+        history.append(float(loss.data))
+        if log is not None and (step + 1) % 50 == 0:
+            log(f"distill step {step + 1}/{recipe.steps} "
+                f"loss {np.mean(history[-50:]):.3f}")
+
+    student.eval()
+    head.eval()
+    return PretrainResult(backbone=student, head=head,
+                          loss_history=history)

@@ -1,0 +1,59 @@
+"""Masked language modeling (Devlin et al., 2018).
+
+Standard BERT recipe: select 15 % of non-special positions; of those,
+80 % become ``[MASK]``, 10 % a random token, 10 % stay unchanged.  Targets
+are the original ids at selected positions and ``IGNORE`` elsewhere.
+
+BERT applies masking once during preprocessing (*static*); RoBERTa
+re-masks every time a sequence is seen (*dynamic*).  Both are expressed
+here: call :func:`mask_tokens` once per sequence for static behaviour or
+per step for dynamic behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tokenizers import Vocab
+
+__all__ = ["IGNORE_INDEX", "mask_tokens", "MaskedBatch"]
+
+IGNORE_INDEX = -100
+
+
+class MaskedBatch:
+    """Inputs and targets of one MLM batch."""
+
+    def __init__(self, input_ids: np.ndarray, targets: np.ndarray):
+        self.input_ids = input_ids
+        self.targets = targets
+
+
+def mask_tokens(input_ids: np.ndarray, vocab: Vocab,
+                rng: np.random.Generator,
+                mask_probability: float = 0.15) -> MaskedBatch:
+    """Apply BERT-style masking to a batch of id sequences (B, T)."""
+    input_ids = np.asarray(input_ids)
+    masked = input_ids.copy()
+    targets = np.full_like(input_ids, IGNORE_INDEX)
+
+    special = np.isin(input_ids, list(vocab.special_ids()))
+    selectable = ~special
+    selected = (rng.random(input_ids.shape) < mask_probability) & selectable
+    # Guarantee at least one prediction target per sequence.
+    for row in range(input_ids.shape[0]):
+        if not selected[row].any() and selectable[row].any():
+            candidates = np.flatnonzero(selectable[row])
+            selected[row, candidates[rng.integers(len(candidates))]] = True
+
+    targets[selected] = input_ids[selected]
+
+    decision = rng.random(input_ids.shape)
+    to_mask = selected & (decision < 0.8)
+    to_random = selected & (decision >= 0.8) & (decision < 0.9)
+    masked[to_mask] = vocab.mask_id
+    if to_random.any():
+        masked[to_random] = rng.integers(
+            len(vocab.special_ids()), len(vocab), size=int(to_random.sum()))
+    # Remaining 10 %: keep the original token (already in place).
+    return MaskedBatch(masked, targets)

@@ -1,0 +1,72 @@
+"""Next-sentence prediction pairing (BERT's second objective).
+
+Half the examples are genuine consecutive sentence pairs from one
+document (label 1 = IsNext), half pair a sentence with a random sentence
+from another document (label 0 = NotNext).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SentencePair", "build_nsp_examples"]
+
+
+@dataclass
+class SentencePair:
+    first: str
+    second: str
+    is_next: int  # 1 = consecutive in the same document
+
+
+def build_nsp_examples(documents: list[list[str]],
+                       rng: np.random.Generator,
+                       num_examples: int,
+                       coherent_fraction: float = 0.5,
+                       domains: list[str] | None = None
+                       ) -> list[SentencePair]:
+    """Sample sentence pairs from multi-sentence documents.
+
+    ``coherent_fraction`` is the probability of a genuine consecutive
+    pair; 0.5 reproduces BERT's NSP mix, 1.0 gives the always-related
+    packing used for architectures without the NSP loss.
+
+    With ``domains`` (one label per document) negatives are *hard*: the
+    unrelated sentence is drawn from a different document of the same
+    domain.  Random negatives make NSP a topic detector; same-domain
+    negatives force entity-level comparison, which is the capability the
+    downstream matching task reuses.  (A scale-bridging adaptation —
+    see DESIGN.md.)
+    """
+    indexed = [(i, doc) for i, doc in enumerate(documents) if len(doc) >= 2]
+    if not indexed:
+        raise ValueError("need at least one document with >= 2 sentences")
+    by_domain: dict[str, list[int]] = {}
+    if domains is not None:
+        if len(domains) != len(documents):
+            raise ValueError("domains must align with documents")
+        for i, domain in enumerate(domains):
+            by_domain.setdefault(domain, []).append(i)
+    all_sentences = [s for doc in documents for s in doc]
+    examples: list[SentencePair] = []
+    for _ in range(num_examples):
+        doc_index, doc = indexed[rng.integers(len(indexed))]
+        start = int(rng.integers(len(doc) - 1))
+        first = doc[start]
+        if rng.random() < coherent_fraction:
+            examples.append(SentencePair(first, doc[start + 1], 1))
+            continue
+        if domains is not None:
+            pool = by_domain[domains[doc_index]]
+            other = pool[rng.integers(len(pool))]
+            if len(pool) > 1:
+                while other == doc_index:
+                    other = pool[rng.integers(len(pool))]
+            negative_doc = documents[other]
+            negative = negative_doc[rng.integers(len(negative_doc))]
+        else:
+            negative = all_sentences[rng.integers(len(all_sentences))]
+        examples.append(SentencePair(first, negative, 0))
+    return examples

@@ -1,0 +1,50 @@
+"""Permutation language modeling (XLNet's pre-training objective).
+
+For each sequence a factorization order is sampled; only the *last* K
+positions of the order are prediction targets (standard XLNet practice —
+early positions have too little context to be useful training signal).
+The model's query stream predicts each target token from the tokens
+preceding it in the order, never from itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tokenizers import Vocab
+from .mlm import IGNORE_INDEX
+
+__all__ = ["PermutationBatch", "sample_permutation_batch"]
+
+
+@dataclass
+class PermutationBatch:
+    input_ids: np.ndarray    # (B, T) original tokens (nothing is masked)
+    order: np.ndarray        # (T,) shared factorization order
+    targets: np.ndarray      # (B, T): token id at target positions else IGNORE
+
+
+def sample_permutation_batch(input_ids: np.ndarray, vocab: Vocab,
+                             rng: np.random.Generator,
+                             predict_fraction: float = 1.0 / 6.0
+                             ) -> PermutationBatch:
+    """Sample one factorization order for a batch and mark targets.
+
+    A single order per batch keeps the attention masks shared across the
+    batch (XLNet does the same within each chunk for efficiency).
+    """
+    input_ids = np.asarray(input_ids)
+    _, seq_len = input_ids.shape
+    order = rng.permutation(seq_len)
+    num_predict = max(int(round(seq_len * predict_fraction)), 1)
+    target_positions = order[-num_predict:]
+
+    targets = np.full_like(input_ids, IGNORE_INDEX)
+    special = np.isin(input_ids, list(vocab.special_ids()))
+    for pos in target_positions:
+        keep = ~special[:, pos]
+        targets[keep, pos] = input_ids[keep, pos]
+    return PermutationBatch(input_ids=input_ids, order=order,
+                            targets=targets)

@@ -1,0 +1,21 @@
+"""Subword tokenizers: WordPiece (BERT/DistilBERT), byte-level BPE
+(RoBERTa) and unigram-LM SentencePiece-style (XLNet), all trainable
+from a corpus with no external dependencies."""
+
+from .base import Encoding, SubwordTokenizer
+from .bpe import ByteLevelBPETokenizer, train_byte_level_bpe
+from .normalize import (basic_pretokenize, gpt2_pretokenize, no_pretokenize,
+                        normalize_text)
+from .unigram import UnigramTokenizer, train_unigram
+from .vocab import SpecialTokens, Vocab
+from .wordpiece import WordPieceTokenizer, train_wordpiece
+
+__all__ = [
+    "Encoding", "SubwordTokenizer",
+    "Vocab", "SpecialTokens",
+    "WordPieceTokenizer", "train_wordpiece",
+    "ByteLevelBPETokenizer", "train_byte_level_bpe",
+    "UnigramTokenizer", "train_unigram",
+    "normalize_text", "basic_pretokenize", "gpt2_pretokenize",
+    "no_pretokenize",
+]

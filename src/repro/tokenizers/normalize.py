@@ -1,0 +1,73 @@
+"""Text normalization and pre-tokenization.
+
+The paper describes two pre-tokenization styles: BERT's whitespace +
+punctuation splitting (lower-cased English models) and RoBERTa's GPT-2
+style splitting that also peels off common English contractions
+(``'s|'t|'re|'ve|'m|'ll|'d``).  XLNet skips pre-tokenization and feeds raw
+text to SentencePiece; we expose that as :func:`no_pretokenize`.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+
+__all__ = ["normalize_text", "basic_pretokenize", "gpt2_pretokenize",
+           "no_pretokenize"]
+
+_CONTRACTIONS = re.compile(r"('s|'t|'re|'ve|'m|'ll|'d)$")
+_GPT2_SPLIT = re.compile(
+    r"'s|'t|'re|'ve|'m|'ll|'d| ?[a-zA-Z]+| ?[0-9]+| ?[^\sa-zA-Z0-9]+|\s+")
+
+
+def normalize_text(text: str, lowercase: bool = True,
+                   strip_accents: bool = True) -> str:
+    """Unicode NFKD normalization, optional lowercasing and accent removal."""
+    text = unicodedata.normalize("NFKD", text)
+    if strip_accents:
+        text = "".join(ch for ch in text
+                       if unicodedata.category(ch) != "Mn")
+    if lowercase:
+        text = text.lower()
+    return text
+
+
+def _is_punctuation(ch: str) -> bool:
+    return unicodedata.category(ch).startswith("P") or ch in "$+<=>^`|~"
+
+
+def basic_pretokenize(text: str) -> list[str]:
+    """BERT-style: split on whitespace, then isolate punctuation characters."""
+    words: list[str] = []
+    for chunk in text.split():
+        current: list[str] = []
+        for ch in chunk:
+            if _is_punctuation(ch):
+                if current:
+                    words.append("".join(current))
+                    current = []
+                words.append(ch)
+            else:
+                current.append(ch)
+        if current:
+            words.append("".join(current))
+    return words
+
+
+def gpt2_pretokenize(text: str) -> list[str]:
+    """RoBERTa/GPT-2 style splitting with contraction handling.
+
+    Leading spaces are kept attached to the following word (the byte-level
+    BPE treats a leading space as part of the token), mirroring GPT-2.
+    Whitespace runs are collapsed to single spaces first — record text is
+    single-spaced anyway, and this keeps the tokenizer losslessly
+    reversible on its actual input domain.
+    """
+    text = " ".join(text.split())
+    pieces = _GPT2_SPLIT.findall(text)
+    return [p for p in pieces if p.strip() or p == " "]
+
+
+def no_pretokenize(text: str) -> list[str]:
+    """SentencePiece-style: the whole text is one piece (spaces -> '▁')."""
+    return ["▁" + text.replace(" ", "▁")] if text else []

@@ -1,0 +1,115 @@
+"""Vocabulary: bidirectional token<->id mapping with special tokens."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["SpecialTokens", "Vocab"]
+
+
+class SpecialTokens:
+    """Names of the special tokens an architecture uses.
+
+    BERT/DistilBERT use ``[CLS]/[SEP]/[PAD]/[MASK]/[UNK]``; RoBERTa uses
+    ``<s>/</s>/<pad>/<mask>/<unk>``; our XLNet follows the SentencePiece
+    convention ``<cls>/<sep>/...`` with the CLS token at the *end* of the
+    sequence (handled by the model's pair encoder).
+    """
+
+    def __init__(self, pad: str = "[PAD]", unk: str = "[UNK]",
+                 cls: str = "[CLS]", sep: str = "[SEP]",
+                 mask: str = "[MASK]"):
+        self.pad = pad
+        self.unk = unk
+        self.cls = cls
+        self.sep = sep
+        self.mask = mask
+
+    def all(self) -> list[str]:
+        return [self.pad, self.unk, self.cls, self.sep, self.mask]
+
+    @staticmethod
+    def bert() -> "SpecialTokens":
+        return SpecialTokens()
+
+    @staticmethod
+    def roberta() -> "SpecialTokens":
+        return SpecialTokens(pad="<pad>", unk="<unk>", cls="<s>",
+                             sep="</s>", mask="<mask>")
+
+    @staticmethod
+    def xlnet() -> "SpecialTokens":
+        return SpecialTokens(pad="<pad>", unk="<unk>", cls="<cls>",
+                             sep="<sep>", mask="<mask>")
+
+
+class Vocab:
+    """Immutable-ish token<->id table; special tokens occupy the lowest ids."""
+
+    def __init__(self, tokens: list[str], specials: SpecialTokens):
+        self.specials = specials
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        for token in specials.all() + list(tokens):
+            if token not in self._token_to_id:
+                self._token_to_id[token] = len(self._id_to_token)
+                self._id_to_token.append(token)
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def token_to_id(self, token: str) -> int:
+        return self._token_to_id.get(token, self._token_to_id[self.specials.unk])
+
+    def id_to_token(self, idx: int) -> str:
+        return self._id_to_token[idx]
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[self.specials.pad]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[self.specials.unk]
+
+    @property
+    def cls_id(self) -> int:
+        return self._token_to_id[self.specials.cls]
+
+    @property
+    def sep_id(self) -> int:
+        return self._token_to_id[self.specials.sep]
+
+    @property
+    def mask_id(self) -> int:
+        return self._token_to_id[self.specials.mask]
+
+    def special_ids(self) -> set[int]:
+        return {self._token_to_id[t] for t in self.specials.all()}
+
+    def tokens(self) -> list[str]:
+        return list(self._id_to_token)
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "specials": {
+                "pad": self.specials.pad, "unk": self.specials.unk,
+                "cls": self.specials.cls, "sep": self.specials.sep,
+                "mask": self.specials.mask,
+            },
+            "tokens": self._id_to_token,
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @staticmethod
+    def load(path: str | Path) -> "Vocab":
+        payload = json.loads(Path(path).read_text())
+        specials = SpecialTokens(**payload["specials"])
+        n_special = len(specials.all())
+        return Vocab(payload["tokens"][n_special:], specials)

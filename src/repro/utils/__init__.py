@@ -1,0 +1,8 @@
+"""Shared utilities: seeding, timing, caching and report rendering."""
+
+from .rng import child_rng, spawn_seeds
+from .render import format_table, format_series
+from .timer import Timer, format_duration
+
+__all__ = ["child_rng", "spawn_seeds", "Timer", "format_duration",
+           "format_table", "format_series"]

@@ -1,0 +1,32 @@
+"""Wall-clock timing helpers for the training-time experiments (Table 6)."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer", "format_duration"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds."""
+
+    def __init__(self):
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.elapsed = time.perf_counter() - self._start
+        return False
+
+
+def format_duration(seconds: float) -> str:
+    """Render seconds the way the paper's Table 6 does (e.g. '2m 42s')."""
+    if seconds < 1.0:
+        return f"{seconds * 1000:.0f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.1f}s"
+    minutes, rem = divmod(seconds, 60.0)
+    return f"{int(minutes)}m {rem:.0f}s"

@@ -1,0 +1,78 @@
+"""Shared fixtures: tiny corpora, tiny pre-trained checkpoints.
+
+Tests never touch the user's real model zoo; everything zoo-like goes to
+a session-scoped temporary directory with miniature settings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pretraining import ZooSettings, get_pretrained
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_settings() -> ZooSettings:
+    return ZooSettings(base_steps=25, base_examples=150,
+                       tokenizer_sentences=150, vocab_size=220,
+                       d_model=32, num_layers=2, num_heads=2,
+                       max_position=64, seq_len=32)
+
+
+@pytest.fixture(scope="session")
+def tiny_zoo_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("zoo")
+
+
+@pytest.fixture(scope="session")
+def tiny_bert(tiny_settings, tiny_zoo_dir):
+    return get_pretrained("bert", seed=0, settings=tiny_settings,
+                          zoo_dir=tiny_zoo_dir)
+
+
+@pytest.fixture(scope="session")
+def tiny_roberta(tiny_settings, tiny_zoo_dir):
+    return get_pretrained("roberta", seed=0, settings=tiny_settings,
+                          zoo_dir=tiny_zoo_dir)
+
+
+@pytest.fixture(scope="session")
+def tiny_xlnet(tiny_settings, tiny_zoo_dir):
+    return get_pretrained("xlnet", seed=0, settings=tiny_settings,
+                          zoo_dir=tiny_zoo_dir)
+
+
+@pytest.fixture(scope="session")
+def tiny_distilbert(tiny_settings, tiny_zoo_dir):
+    return get_pretrained("distilbert", seed=0, settings=tiny_settings,
+                          zoo_dir=tiny_zoo_dir)
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus() -> list[str]:
+    from repro.pretraining import generate_corpus
+    from repro.utils import child_rng
+    return generate_corpus(child_rng(0, "tests-corpus"), 120)
+
+
+def numerical_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` wrt array ``x``."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        index = it.multi_index
+        original = x[index]
+        x[index] = original + eps
+        f_plus = f()
+        x[index] = original - eps
+        f_minus = f()
+        x[index] = original
+        grad[index] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad

@@ -1,0 +1,242 @@
+"""Baselines: similarity functions, Magellan, DeepMatcher, SGNS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (DeepMatcher, DeepMatcherConfig, MagellanMatcher,
+                             similarity as sim)
+from repro.baselines.deepmatcher import (DeepMatcherModel, VARIANTS,
+                                         WordVocab, train_sgns)
+from repro.baselines.magellan import (DecisionTree, FeatureGenerator,
+                                      LogisticRegression, RandomForest)
+from repro.data import load_benchmark, split_dataset
+from repro.utils import child_rng
+
+
+class TestSimilarity:
+    def test_levenshtein_known(self):
+        assert sim.levenshtein_distance("kitten", "sitting") == 3
+        assert sim.levenshtein_distance("", "abc") == 3
+        assert sim.levenshtein_distance("same", "same") == 0
+
+    def test_levenshtein_similarity_bounds(self):
+        assert sim.levenshtein_similarity("abc", "abc") == 1.0
+        assert sim.levenshtein_similarity("abc", "xyz") == 0.0
+
+    def test_jaro_identity_and_empty(self):
+        assert sim.jaro("martha", "martha") == 1.0
+        assert sim.jaro("", "abc") == 0.0
+
+    def test_jaro_winkler_known_value(self):
+        # Classic example: MARTHA vs MARHTA ~ 0.961
+        assert abs(sim.jaro_winkler("martha", "marhta") - 0.961) < 0.01
+
+    def test_jaro_winkler_rewards_prefix(self):
+        base = sim.jaro("prefixab", "prefixcd")
+        boosted = sim.jaro_winkler("prefixab", "prefixcd")
+        assert boosted > base
+
+    def test_jaccard(self):
+        assert sim.jaccard_tokens("a b c", "b c d") == 0.5
+        assert sim.jaccard_tokens("", "") == 0.0
+
+    def test_overlap_coefficient(self):
+        assert sim.overlap_coefficient("a b", "a b c d") == 1.0
+
+    def test_cosine_tfidf_with_idf(self):
+        idf = {"rare": 5.0, "common": 0.1}
+        with_idf = sim.cosine_tfidf("rare common", "rare other", idf)
+        without = sim.cosine_tfidf("rare common", "rare other")
+        assert with_idf > without
+
+    def test_exact_match(self):
+        assert sim.exact_match(" x ", "x") == 1.0
+        assert sim.exact_match("", "") == 0.0
+        assert sim.exact_match("a", "b") == 0.0
+
+    def test_numeric_similarity(self):
+        assert sim.numeric_similarity("$ 100", "100.0") == 1.0
+        assert sim.numeric_similarity("100", "50") == 0.5
+        assert sim.numeric_similarity("no numbers", "100") == 0.0
+
+    def test_monge_elkan(self):
+        assert sim.monge_elkan("fast phone", "fast phone") > 0.99
+        assert sim.monge_elkan("", "x") == 0.0
+
+    def test_prefix_similarity(self):
+        assert sim.prefix_similarity("abcd", "abxy") == 0.5
+
+    @given(st.text("abcdef ", max_size=15), st.text("abcdef ", max_size=15))
+    @settings(max_examples=60, deadline=None)
+    def test_similarity_bounds_property(self, a, b):
+        for fn in (sim.levenshtein_similarity, sim.jaro, sim.jaro_winkler,
+                   sim.jaccard_tokens, sim.overlap_coefficient,
+                   sim.cosine_tfidf, sim.exact_match, sim.monge_elkan):
+            value = fn(a, b)
+            assert -1e-9 <= value <= 1.0 + 1e-6
+            assert abs(fn(a, b) - fn(a, b)) == 0  # deterministic
+
+    @given(st.text("abc", min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_identity_is_maximal(self, a):
+        assert sim.levenshtein_similarity(a, a) == 1.0
+        assert sim.jaro(a, a) == 1.0
+
+
+class TestLearners:
+    def _blobs(self, n=200):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(n, 4))
+        y = (x[:, 0] + 0.5 * x[:, 1] > 0).astype(int)
+        return x, y
+
+    def test_decision_tree_fits(self):
+        x, y = self._blobs()
+        tree = DecisionTree(max_depth=6).fit(x, y)
+        assert (tree.predict(x) == y).mean() > 0.85
+
+    def test_decision_tree_proba_bounds(self):
+        x, y = self._blobs()
+        proba = DecisionTree().fit(x, y).predict_proba(x)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_tree_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTree().predict(np.zeros((1, 2)))
+
+    def test_random_forest_beats_chance(self):
+        x, y = self._blobs()
+        forest = RandomForest(n_trees=10).fit(x, y)
+        assert (forest.predict(x) == y).mean() > 0.85
+
+    def test_random_forest_deterministic_by_seed(self):
+        x, y = self._blobs()
+        a = RandomForest(n_trees=5, seed=1).fit(x, y).predict_proba(x)
+        b = RandomForest(n_trees=5, seed=1).fit(x, y).predict_proba(x)
+        assert np.allclose(a, b)
+
+    def test_logreg_separable(self):
+        x, y = self._blobs()
+        model = LogisticRegression(iterations=300).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.9
+
+    def test_logreg_proba_monotone_in_feature(self):
+        x, y = self._blobs()
+        model = LogisticRegression(iterations=300).fit(x, y)
+        lo = model.predict_proba(np.array([[-3, 0, 0, 0.0]]))
+        hi = model.predict_proba(np.array([[3, 0, 0, 0.0]]))
+        assert hi > lo
+
+
+class TestMagellan:
+    @pytest.fixture(scope="class")
+    def splits(self):
+        data = load_benchmark("dblp-acm", seed=7, scale=0.04)
+        return split_dataset(data, child_rng(7, "split-mg"))
+
+    def test_feature_generator_shapes(self, splits):
+        generator = FeatureGenerator(splits.train.schema)
+        features, labels = generator.fit_transform(splits.train)
+        assert features.shape == (len(splits.train),
+                                  len(generator.feature_names()))
+        assert features.shape[1] == len(splits.train.schema) * 8
+        assert np.all(np.isfinite(features))
+
+    def test_run_protocol(self, splits):
+        result = MagellanMatcher(seed=0).run(splits.train,
+                                             splits.validation, splits.test)
+        assert result.chosen_learner in {"decision_tree", "random_forest",
+                                         "logistic_regression"}
+        assert 0.0 <= result.test_metrics.f1 <= 1.0
+        assert result.validation_f1 >= 0.0
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MagellanMatcher().predict(
+                load_benchmark("dblp-acm", seed=1, scale=0.02))
+
+    def test_beats_chance_on_easy_data(self, splits):
+        matcher = MagellanMatcher(seed=0).fit(splits.train,
+                                              splits.validation)
+        metrics = matcher.evaluate(splits.test)
+        assert metrics.f1 > 0.3
+
+
+class TestDeepMatcher:
+    def test_word_vocab(self):
+        data = load_benchmark("dblp-acm", seed=7, scale=0.02)
+        vocab = WordVocab.build(data)
+        assert len(vocab) > 10
+        ids = vocab.encode("efficient data cleaning", max_length=8)
+        assert ids.shape == (8,)
+        assert vocab.pad_id == 0 and vocab.unk_id == 1
+
+    def test_vocab_unknown_words_to_unk(self):
+        vocab = WordVocab(["known"])
+        ids = vocab.encode("known unknownzz", max_length=4)
+        assert ids[1] == vocab.unk_id
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_all_variants_forward(self, rng, variant):
+        model = DeepMatcherModel(50, variant, rng, embed_dim=16, hidden=8)
+        ids = rng.integers(2, 50, size=(4, 10))
+        logits = model(ids, ids, ids == 0, ids == 0)
+        assert logits.shape == (4, 2)
+
+    def test_invalid_variant_raises(self, rng):
+        with pytest.raises(ValueError):
+            DeepMatcherModel(50, "cnn", rng)
+
+    def test_embedding_matrix_injection(self, rng):
+        matrix = rng.normal(size=(50, 16)).astype(np.float32)
+        model = DeepMatcherModel(50, "sif", rng, embed_dim=16,
+                                 embedding_matrix=matrix)
+        assert np.allclose(model.embedding.weight.data, matrix)
+
+    def test_embedding_matrix_shape_checked(self, rng):
+        with pytest.raises(ValueError):
+            DeepMatcherModel(50, "sif", rng, embed_dim=16,
+                             embedding_matrix=np.zeros((50, 8)))
+
+    def test_run_protocol_small(self):
+        data = load_benchmark("dblp-acm", seed=7, scale=0.03)
+        splits = split_dataset(data, child_rng(7, "split-dm"))
+        config = DeepMatcherConfig(epochs=2, variants=("sif",),
+                                   use_pretrained_embeddings=False)
+        result = DeepMatcher(config, seed=0).run(
+            splits.train, splits.validation, splits.test)
+        assert result.chosen_variant == "sif"
+        assert "sif" in result.epoch_seconds
+        assert result.epoch_seconds["sif"] > 0
+
+
+class TestSGNS:
+    def test_synonyms_closer_than_random(self):
+        from repro.pretraining import generate_corpus
+        corpus = generate_corpus(child_rng(0, "sgns-test"), 800)
+        emb = train_sgns(corpus, dim=24, epochs=2, seed=0)
+        def cos(a, b):
+            va, vb = emb.vectors[a], emb.vectors[b]
+            return float(va @ vb / (np.linalg.norm(va)
+                                    * np.linalg.norm(vb) + 1e-9))
+        assert cos("fast", "quick") > cos("fast", "jazz")
+
+    def test_oov_get_zero_or_random(self):
+        from repro.baselines.deepmatcher import WordEmbeddings
+        emb = WordEmbeddings({"a": np.ones(4, dtype=np.float32)}, 4)
+        assert np.allclose(emb.get("missing"), 0.0)
+        assert "a" in emb
+
+    def test_build_matrix_aligns_vocab(self):
+        from repro.baselines.deepmatcher import WordEmbeddings
+        emb = WordEmbeddings({"hello": np.full(4, 2.0, np.float32)}, 4)
+        vocab = WordVocab(["hello", "other"])
+        matrix = emb.build_matrix(vocab, np.random.default_rng(0))
+        hello_id = vocab._token_to_id["hello"]
+        assert np.allclose(matrix[hello_id], 2.0)
+        assert np.allclose(matrix[vocab.pad_id], 0.0)
+
+    def test_min_count_too_high_raises(self):
+        with pytest.raises(ValueError):
+            train_sgns(["one two"], min_count=10)

@@ -1,0 +1,111 @@
+"""Blocking: token and sorted-neighborhood candidate generation."""
+
+import numpy as np
+import pytest
+
+from repro.data import Record
+from repro.data.blocking import (BlockingQuality, SortedNeighborhoodBlocker,
+                                 TokenBlocker, evaluate_blocking)
+from repro.data.generators import universe
+from repro.data.generators._base import NoiseProfile
+
+
+def _records():
+    a = [Record({"title": "apexon phone zx100 black"}),
+         Record({"title": "novatek laptop nv200 silver"}),
+         Record({"title": "zenix camera zc300 red"})]
+    b = [Record({"title": "apexon smartphone zx100"}),
+         Record({"title": "novatek notebook nv200"}),
+         Record({"title": "lumora watch lw400"})]
+    return a, b
+
+
+class TestTokenBlocker:
+    def test_finds_shared_token_pairs(self):
+        a, b = _records()
+        pairs = TokenBlocker(max_token_frequency=1.0).candidates(a, b)
+        found = {(p.index_a, p.index_b) for p in pairs}
+        assert (0, 0) in found       # shares "apexon", "zx100"
+        assert (1, 1) in found       # shares "novatek", "nv200"
+        assert (2, 2) not in found   # no shared tokens
+
+    def test_min_shared_filters(self):
+        a, b = _records()
+        pairs = TokenBlocker(max_token_frequency=1.0,
+                             min_shared=2).candidates(a, b)
+        found = {(p.index_a, p.index_b) for p in pairs}
+        assert (0, 0) in found
+        assert all(i == j for i, j in found)
+
+    def test_frequency_cut_drops_stopwords(self):
+        a = [Record({"title": f"the item {i}"}) for i in range(10)]
+        b = [Record({"title": f"the product {i}"}) for i in range(10)]
+        pairs = TokenBlocker(max_token_frequency=0.3).candidates(a, b)
+        # "the" occurs everywhere and must not pair everything
+        assert len(pairs) < 100
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBlocker(max_token_frequency=0.0)
+        with pytest.raises(ValueError):
+            TokenBlocker(min_shared=0)
+
+    def test_attribute_subset(self):
+        a = [Record({"title": "x", "brand": "shared"})]
+        b = [Record({"title": "y", "brand": "shared"})]
+        with_brand = TokenBlocker(max_token_frequency=1.0).candidates(a, b)
+        title_only = TokenBlocker(attributes=["title"],
+                                  max_token_frequency=1.0).candidates(a, b)
+        assert with_brand and not title_only
+
+
+class TestSortedNeighborhood:
+    def test_nearby_keys_paired(self):
+        a = [Record({"title": "aaa one"}), Record({"title": "zzz far"})]
+        b = [Record({"title": "aab two"}), Record({"title": "mmm mid"})]
+        pairs = SortedNeighborhoodBlocker("title", window=1).candidates(a, b)
+        found = {(p.index_a, p.index_b) for p in pairs}
+        assert (0, 0) in found
+
+    def test_window_bounds_candidates(self):
+        a = [Record({"title": f"{chr(97 + i)} item"}) for i in range(10)]
+        b = [Record({"title": f"{chr(97 + i)} thing"}) for i in range(10)]
+        small = SortedNeighborhoodBlocker("title", window=1).candidates(a, b)
+        large = SortedNeighborhoodBlocker("title", window=8).candidates(a, b)
+        assert len(small) < len(large)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SortedNeighborhoodBlocker("title", window=0)
+
+
+class TestBlockingQuality:
+    def test_perfect_blocking(self):
+        from repro.data.blocking import CandidatePair
+        candidates = [CandidatePair(0, 0), CandidatePair(1, 1)]
+        quality = evaluate_blocking(candidates, {(0, 0), (1, 1)}, 10, 10)
+        assert quality.pairs_completeness == 1.0
+        assert quality.reduction_ratio == 1.0 - 2 / 100
+        assert "PC 1.00" in str(quality)
+
+    def test_missing_matches_lower_completeness(self):
+        from repro.data.blocking import CandidatePair
+        quality = evaluate_blocking([CandidatePair(0, 0)],
+                                    {(0, 0), (5, 5)}, 10, 10)
+        assert quality.pairs_completeness == 0.5
+
+    def test_token_blocking_on_generated_universe(self):
+        rng = np.random.default_rng(0)
+        profile = NoiseProfile(p_missing_attr=0.0)
+        schema = ["title", "brand", "modelno"]
+        entities = [universe.sample_product(rng) for _ in range(30)]
+        a = [universe.render_product(e, schema, profile, rng)
+             for e in entities]
+        b = [universe.render_product(e, schema, profile, rng)
+             for e in entities]
+        truth = {(i, i) for i in range(30)}
+        pairs = TokenBlocker(max_token_frequency=0.5).candidates(a, b)
+        quality = evaluate_blocking(pairs, truth, 30, 30)
+        # two noisy views of the same entity share tokens almost always
+        assert quality.pairs_completeness > 0.9
+        assert quality.reduction_ratio > 0.3

@@ -1,0 +1,59 @@
+"""CLI: argument parsing and the filesystem-facing commands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_defaults(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.command == "datasets"
+        assert args.scale == 1.0
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "abt-buy", "out.csv", "--scale", "0.1",
+             "--variant", "clean"])
+        assert args.name == "abt-buy"
+        assert args.variant == "clean"
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "nope", "out.csv"])
+
+    def test_match_args(self):
+        args = build_parser().parse_args(
+            ["match", "roberta", "dblp-acm", "--epochs", "2"])
+        assert args.arch == "roberta"
+        assert args.epochs == 2
+
+    def test_table_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "4"])
+
+    def test_figure_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "9"])
+
+
+class TestCommands:
+    def test_datasets_prints_table(self, capsys):
+        assert main(["datasets", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "abt-buy" in out
+        assert "dblp-scholar" in out
+
+    def test_generate_writes_csv(self, tmp_path, capsys):
+        output = tmp_path / "data.csv"
+        assert main(["generate", "itunes-amazon", str(output),
+                     "--scale", "0.05"]) == 0
+        assert output.exists()
+        assert "matches" in capsys.readouterr().out
+        from repro.data import load_dataset
+        loaded = load_dataset(output)
+        assert len(loaded) > 0

@@ -1,0 +1,287 @@
+"""Data substrate: records, dirty transform, splits, io, generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (EMDataset, EntityPair, Record, benchmark_names,
+                        dirty_record, load_benchmark, load_dataset,
+                        make_dirty, save_dataset, split_dataset, table3_spec)
+from repro.data import wordbank
+from repro.data.generators import (GeneratorSpec, NoiseProfile,
+                                   apply_text_noise, drift_code,
+                                   scale_counts, typo)
+from repro.utils import child_rng
+
+
+class TestRecord:
+    def test_missing_attribute_is_empty(self):
+        record = Record({"title": "x"})
+        assert record["nope"] == ""
+
+    def test_text_blob_skips_empty(self):
+        record = Record({"a": "hello", "b": "", "c": "world"})
+        assert record.text_blob() == "hello world"
+
+    def test_text_blob_attribute_subset(self):
+        record = Record({"a": "hello", "b": "world"})
+        assert record.text_blob(["b"]) == "world"
+
+    def test_copy_is_independent(self):
+        record = Record({"a": "x"})
+        clone = record.copy()
+        clone.values["a"] = "y"
+        assert record["a"] == "x"
+
+
+class TestEntityPair:
+    def test_invalid_label_raises(self):
+        with pytest.raises(ValueError):
+            EntityPair(Record({}), Record({}), 2)
+
+
+class TestEMDataset:
+    def _dataset(self, n=10, positives=3):
+        pairs = [EntityPair(Record({"t": f"a{i}"}), Record({"t": f"b{i}"}),
+                            1 if i < positives else 0) for i in range(n)]
+        return EMDataset("demo", "products", ["t"], pairs)
+
+    def test_stats(self):
+        ds = self._dataset()
+        stats = ds.stats()
+        assert stats.size == 10
+        assert stats.num_matches == 3
+        assert abs(stats.match_rate - 0.3) < 1e-9
+
+    def test_slice_returns_dataset(self):
+        ds = self._dataset()
+        head = ds[:4]
+        assert isinstance(head, EMDataset)
+        assert len(head) == 4
+
+    def test_subset(self):
+        ds = self._dataset()
+        sub = ds.subset([0, 2], "-sub")
+        assert sub.name == "demo-sub"
+        assert len(sub) == 2
+
+    def test_serialization_attributes_default_schema(self):
+        ds = self._dataset()
+        assert ds.serialization_attributes() == ["t"]
+        ds.text_attributes = ["t"]
+        assert ds.serialization_attributes() == ["t"]
+
+
+class TestDirty:
+    def test_moved_values_land_in_title(self):
+        rng = np.random.default_rng(0)
+        record = Record({"title": "base", "brand": "acme", "price": "9"})
+        out = dirty_record(record, "title", rng, move_probability=1.0)
+        assert out["brand"] == ""
+        assert out["price"] == ""
+        assert "acme" in out["title"]
+        assert "9" in out["title"]
+        assert out["title"].startswith("base")
+
+    def test_zero_probability_is_identity(self):
+        rng = np.random.default_rng(0)
+        record = Record({"title": "base", "brand": "acme"})
+        out = dirty_record(record, "title", rng, move_probability=0.0)
+        assert out.values == record.values
+
+    def test_information_preserved(self):
+        rng = np.random.default_rng(1)
+        record = Record({"title": "t", "a": "one", "b": "two"})
+        out = dirty_record(record, "title", rng)
+        all_text = " ".join(out.values.values())
+        for word in ("one", "two", "t"):
+            assert word in all_text
+
+    def test_make_dirty_renames_and_keeps_labels(self):
+        pairs = [EntityPair(Record({"title": "x", "b": "y"}),
+                            Record({"title": "x", "b": "y"}), 1)]
+        ds = EMDataset("d", "products", ["title", "b"], pairs)
+        dirty = make_dirty(ds, np.random.default_rng(0))
+        assert dirty.name == "d-dirty"
+        assert dirty.pairs[0].label == 1
+
+    def test_make_dirty_invalid_title_raises(self):
+        ds = EMDataset("d", "products", ["a"], [])
+        with pytest.raises(ValueError):
+            make_dirty(ds, np.random.default_rng(0), title_attribute="zz")
+
+
+class TestSplits:
+    def test_ratios_and_stratification(self):
+        pairs = [EntityPair(Record({"t": str(i)}), Record({"t": str(i)}),
+                            int(i < 20)) for i in range(100)]
+        ds = EMDataset("d", "x", ["t"], pairs)
+        splits = split_dataset(ds, np.random.default_rng(0))
+        assert len(splits.train) == 60
+        assert len(splits.validation) == 20
+        assert len(splits.test) == 20
+        for part in (splits.train, splits.validation, splits.test):
+            assert abs(part.stats().match_rate - 0.2) < 0.05
+
+    def test_no_overlap_and_complete(self):
+        pairs = [EntityPair(Record({"t": str(i)}), Record({"t": str(i)}),
+                            i % 4 == 0) for i in range(40)]
+        ds = EMDataset("d", "x", ["t"], pairs)
+        splits = split_dataset(ds, np.random.default_rng(1))
+        seen = [p.record_a["t"] for s in (splits.train, splits.validation,
+                                          splits.test) for p in s]
+        assert sorted(seen) == sorted(p.record_a["t"] for p in pairs)
+
+    def test_invalid_ratios_raise(self):
+        ds = EMDataset("d", "x", ["t"], [])
+        with pytest.raises(ValueError):
+            split_dataset(ds, np.random.default_rng(0),
+                          ratios=(0.5, 0.2, 0.2))
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path):
+        pairs = [EntityPair(Record({"t": "a, with comma", "p": "1"}),
+                            Record({"t": "b", "p": ""}), 1)]
+        ds = EMDataset("rt", "products", ["t", "p"], pairs,
+                       text_attributes=["t"])
+        save_dataset(ds, tmp_path / "d.csv")
+        loaded = load_dataset(tmp_path / "d.csv")
+        assert loaded.name == "rt"
+        assert loaded.text_attributes == ["t"]
+        assert loaded.pairs[0].record_a["t"] == "a, with comma"
+        assert loaded.pairs[0].label == 1
+
+
+class TestWordbank:
+    def test_canonical_maps_synonyms(self):
+        assert wordbank.canonical("smartphone") == "phone"
+        assert wordbank.canonical("unknownword") == "unknownword"
+
+    def test_sample_synonym_stays_in_group(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            word = wordbank.sample_synonym("phone", rng, p_substitute=1.0)
+            assert wordbank.canonical(word) == "phone"
+
+    def test_sample_synonym_zero_probability(self):
+        rng = np.random.default_rng(0)
+        assert wordbank.sample_synonym("phone", rng, 0.0) == "phone"
+
+    def test_all_content_words_nonempty(self):
+        words = wordbank.all_content_words()
+        assert len(words) > 100
+        assert "phone" in words
+
+
+class TestNoise:
+    def test_typo_single_edit_distance(self):
+        from repro.baselines.similarity import levenshtein_distance
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            word = "wireless"
+            mutated = typo(word, rng)
+            assert levenshtein_distance(word, mutated) <= 2
+
+    def test_typo_short_words_untouched(self):
+        rng = np.random.default_rng(0)
+        assert typo("ab", rng) == "ab"
+
+    def test_drift_code_preserves_content(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            out = drift_code("zx4821", rng, probability=1.0)
+            compact = out.lower().replace("-", "").replace(" ", "")
+            assert compact == "zx4821"
+
+    def test_apply_text_noise_empty_safe(self):
+        rng = np.random.default_rng(0)
+        assert apply_text_noise("word", NoiseProfile(), rng)
+
+    def test_scale_counts_monotone(self):
+        spec = GeneratorSpec("s", "d", size=1000, num_matches=100)
+        size_small, match_small = scale_counts(spec, 0.1)
+        size_full, match_full = scale_counts(spec, 1.0)
+        assert size_small < size_full
+        assert match_small <= match_full
+        assert match_small < size_small
+
+    def test_scale_counts_invalid(self):
+        spec = GeneratorSpec("s", "d", size=100, num_matches=10)
+        with pytest.raises(ValueError):
+            scale_counts(spec, 0.0)
+
+
+class TestCatalog:
+    def test_five_benchmarks(self):
+        assert sorted(benchmark_names()) == sorted([
+            "abt-buy", "itunes-amazon", "walmart-amazon", "dblp-acm",
+            "dblp-scholar"])
+
+    def test_table3_specs_match_paper(self):
+        assert table3_spec("abt-buy").size == 9575
+        assert table3_spec("itunes-amazon").num_matches == 132
+        assert table3_spec("dblp-scholar").size == 28707
+
+    @pytest.mark.parametrize("name", ["abt-buy", "itunes-amazon",
+                                      "walmart-amazon", "dblp-acm",
+                                      "dblp-scholar"])
+    def test_generation_deterministic(self, name):
+        a = load_benchmark(name, seed=3, scale=0.02)
+        b = load_benchmark(name, seed=3, scale=0.02)
+        assert len(a) == len(b)
+        for pa, pb in zip(a.pairs, b.pairs):
+            assert pa.label == pb.label
+            assert pa.record_a.values == pb.record_a.values
+
+    def test_different_seeds_differ(self):
+        a = load_benchmark("dblp-acm", seed=1, scale=0.02)
+        b = load_benchmark("dblp-acm", seed=2, scale=0.02)
+        assert any(pa.record_a.values != pb.record_a.values
+                   for pa, pb in zip(a.pairs, b.pairs))
+
+    def test_paper_variant_dirty_suffix(self):
+        ds = load_benchmark("walmart-amazon", seed=0, scale=0.02)
+        assert ds.name.endswith("-dirty")
+
+    def test_clean_variant(self):
+        ds = load_benchmark("walmart-amazon", seed=0, scale=0.02,
+                            variant="clean")
+        assert not ds.name.endswith("-dirty")
+
+    def test_abt_buy_textual_uses_description_only(self):
+        ds = load_benchmark("abt-buy", seed=0, scale=0.02)
+        assert ds.serialization_attributes() == ["description"]
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            load_benchmark("nope")
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(ValueError):
+            load_benchmark("abt-buy", variant="weird")
+
+    def test_match_rate_roughly_preserved_at_scale(self):
+        spec = table3_spec("dblp-acm")
+        ds = load_benchmark("dblp-acm", seed=5, scale=0.05)
+        expected = spec.num_matches / spec.size
+        assert abs(ds.stats().match_rate - expected) < 0.05
+
+    def test_matches_share_more_tokens_than_negatives(self):
+        ds = load_benchmark("dblp-acm", seed=9, scale=0.05)
+        attrs = ds.serialization_attributes()
+        def overlap(pair):
+            a = set(pair.record_a.text_blob(attrs).split())
+            b = set(pair.record_b.text_blob(attrs).split())
+            return len(a & b) / max(len(a | b), 1)
+        pos = np.mean([overlap(p) for p in ds.pairs if p.label == 1])
+        neg = np.mean([overlap(p) for p in ds.pairs if p.label == 0])
+        assert pos > neg + 0.15
+
+
+@given(st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_generator_never_crashes_any_seed(seed):
+    ds = load_benchmark("itunes-amazon", seed=seed, scale=0.05)
+    assert len(ds) > 0
+    assert 0 < ds.stats().num_matches < len(ds)

@@ -1,0 +1,152 @@
+"""Generator calibration: the properties that make the five datasets
+reproduce the paper's difficulty ordering."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_benchmark
+from repro.data.generators import universe
+from repro.data.generators._base import NoiseProfile
+from repro.matching.serializer import pair_texts
+from repro.utils import child_rng
+
+
+def _overlap_auc(dataset) -> float:
+    """AUC of word-jaccard as a match score — a proxy for how solvable
+    the dataset is by pure surface similarity."""
+    attrs = dataset.serialization_attributes()
+    scores, labels = [], []
+    for pair in dataset.pairs:
+        a, b = pair_texts(pair, attrs)
+        sa, sb = set(a.split()), set(b.split())
+        scores.append(len(sa & sb) / max(len(sa | sb), 1))
+        labels.append(pair.label)
+    scores = np.array(scores)
+    labels = np.array(labels)
+    pos, neg = scores[labels == 1], scores[labels == 0]
+    return float((pos[:, None] > neg[None, :]).mean()
+                 + 0.5 * (pos[:, None] == neg[None, :]).mean())
+
+
+class TestDifficultyOrdering:
+    def test_citation_data_easier_than_products(self):
+        dblp = load_benchmark("dblp-acm", seed=5, scale=0.06)
+        walmart = load_benchmark("walmart-amazon", seed=5, scale=0.06)
+        abt = load_benchmark("abt-buy", seed=5, scale=0.06)
+        auc_dblp = _overlap_auc(dblp)
+        assert auc_dblp > _overlap_auc(walmart)
+        assert auc_dblp > _overlap_auc(abt)
+
+    def test_dblp_acm_surface_solvable(self):
+        # Magellan reaches 91.9 on the real DBLP-ACM: surface overlap
+        # must be a strong signal on the analogue too.
+        assert _overlap_auc(load_benchmark("dblp-acm", seed=5,
+                                           scale=0.06)) > 0.9
+
+    def test_hard_products_not_surface_solvable(self):
+        # The paper's hard datasets break surface methods (Magellan 33-37).
+        assert _overlap_auc(load_benchmark("abt-buy", seed=5,
+                                           scale=0.06)) < 0.9
+
+
+class TestProductUniverse:
+    def test_perturbed_product_changes_code(self, rng):
+        for _ in range(20):
+            entity = universe.sample_product(rng)
+            similar = universe.perturb_product(entity, rng)
+            assert similar.model_code != entity.model_code
+            assert similar.brand == entity.brand  # still a hard negative
+
+    def test_match_views_share_code_modulo_format(self, rng):
+        profile = NoiseProfile(p_code_drift=1.0, p_missing_attr=0.0)
+        entity = universe.sample_product(rng)
+        schema = ["title", "modelno"]
+        a = universe.render_product(entity, schema, profile, rng)
+        compact = a["modelno"].lower().replace("-", "").replace(" ", "")
+        assert compact == entity.model_code
+
+    def test_render_respects_schema(self, rng):
+        entity = universe.sample_product(rng)
+        record = universe.render_product(
+            entity, ["title", "price"], NoiseProfile(p_missing_attr=0.0),
+            rng)
+        assert list(record.values) == ["title", "price"]
+        assert record["price"]
+
+    def test_description_contains_discriminative_slots(self, rng):
+        entity = universe.sample_product(rng)
+        profile = NoiseProfile(p_synonym=0.0, p_typo=0.0, p_drop_word=0.0,
+                               p_missing_attr=0.0)
+        record = universe.render_product(entity, ["description"], profile,
+                                         rng)
+        text = record["description"]
+        assert entity.model_code in text
+        assert str(entity.capacity) in text
+
+
+class TestMusicUniverse:
+    def test_perturbation_changes_some_slot(self, rng):
+        for _ in range(20):
+            entity = universe.sample_music(rng)
+            similar = universe.perturb_music(entity, rng)
+            assert (entity.song, entity.artist, entity.album,
+                    entity.released) != (similar.song, similar.artist,
+                                         similar.album, similar.released)
+
+    def test_render_time_formats(self, rng):
+        entity = universe.sample_music(rng)
+        formats = set()
+        for _ in range(30):
+            record = universe.render_music(
+                entity, ["time"], NoiseProfile(p_missing_attr=0.0), rng)
+            formats.add(":" in record["time"])
+        assert formats == {True, False}  # both mm:ss and seconds occur
+
+
+class TestCitationUniverse:
+    def test_perturbed_citation_changes_title(self, rng):
+        changed = 0
+        for _ in range(30):
+            entity = universe.sample_citation(rng)
+            similar = universe.perturb_citation(entity, rng)
+            if similar.title != entity.title:
+                changed += 1
+        assert changed >= 25   # topic always changes; template may collide
+
+    def test_author_abbreviation(self, rng):
+        entity = universe.sample_citation(rng)
+        profile = NoiseProfile(p_missing_attr=0.0, p_typo=0.0)
+        record = universe.render_citation(entity, ["authors"], profile,
+                                          rng, abbreviate_probability=1.0)
+        first_author = record["authors"].split(",")[0].strip()
+        assert len(first_author.split()[0]) == 1  # "u brunner" style
+
+
+class TestDirtyVariantProperties:
+    @pytest.mark.parametrize("name,title", [
+        ("walmart-amazon", "title"),
+        ("itunes-amazon", "song_name"),
+        ("dblp-scholar", "title"),
+    ])
+    def test_dirty_moves_but_preserves_tokens(self, name, title):
+        clean = load_benchmark(name, seed=4, scale=0.04, variant="clean")
+        dirty = load_benchmark(name, seed=4, scale=0.04, variant="dirty")
+        # same underlying pairs: token multiset per record is preserved
+        for pc, pd in list(zip(clean.pairs, dirty.pairs))[:40]:
+            clean_tokens = sorted(" ".join(
+                pc.record_a.values.values()).split())
+            dirty_tokens = sorted(" ".join(
+                pd.record_a.values.values()).split())
+            assert clean_tokens == dirty_tokens
+            assert pc.label == pd.label
+
+    def test_dirty_actually_blanks_attributes(self):
+        clean = load_benchmark("walmart-amazon", seed=4, scale=0.04,
+                               variant="clean")
+        dirty = load_benchmark("walmart-amazon", seed=4, scale=0.04,
+                               variant="dirty")
+        def blanks(dataset):
+            return sum(1 for p in dataset.pairs
+                       for r in (p.record_a, p.record_b)
+                       for a in dataset.schema if not r[a])
+        assert blanks(dirty) > blanks(clean)

@@ -1,0 +1,89 @@
+"""End-to-end integration: the full pipeline at miniature scale.
+
+These tests exercise the complete reproduction path — generate a
+benchmark, split it, load a (tiny) pre-trained checkpoint, fine-tune,
+evaluate, run both baselines — the same sequence the benchmark harness
+performs at larger scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DeepMatcher, DeepMatcherConfig, MagellanMatcher
+from repro.data import load_benchmark, save_dataset, load_dataset, \
+    split_dataset
+from repro.matching import EntityMatcher, FineTuneConfig, fine_tune
+from repro.evaluation import ablate_pretraining, ExperimentScale
+from repro.utils import child_rng
+
+
+@pytest.fixture(scope="module")
+def splits():
+    data = load_benchmark("dblp-acm", seed=11, scale=0.05)
+    return split_dataset(data, child_rng(11, "split-int"))
+
+
+class TestEndToEnd:
+    def test_transformer_beats_zero_shot(self, tiny_bert, splits):
+        config = FineTuneConfig(epochs=3, max_length_cap=32)
+        result = fine_tune(tiny_bert, splits.train, splits.test, config,
+                           seed=2)
+        assert result.best_f1 >= result.history[0].f1
+
+    def test_all_three_systems_produce_comparable_metrics(
+            self, tiny_bert, splits):
+        matcher = EntityMatcher(
+            "bert", pretrained=tiny_bert,
+            finetune_config=FineTuneConfig(epochs=2, max_length_cap=32))
+        matcher.fit(splits.train, splits.test)
+        transformer_f1 = matcher.evaluate(splits.test).f1
+
+        magellan_f1 = MagellanMatcher(seed=0).run(
+            splits.train, splits.validation, splits.test).test_metrics.f1
+
+        deepmatcher_f1 = DeepMatcher(
+            DeepMatcherConfig(epochs=2, variants=("sif",),
+                              use_pretrained_embeddings=False),
+            seed=0).run(splits.train, splits.validation,
+                        splits.test).test_metrics.f1
+
+        for value in (transformer_f1, magellan_f1, deepmatcher_f1):
+            assert 0.0 <= value <= 1.0
+
+    def test_dataset_roundtrip_through_disk(self, tmp_path, splits):
+        save_dataset(splits.test, tmp_path / "test.csv")
+        loaded = load_dataset(tmp_path / "test.csv")
+        assert loaded.labels() == splits.test.labels()
+
+    def test_pretraining_ablation_runs(self, tiny_settings, tiny_zoo_dir):
+        scale = ExperimentScale(dataset_scale=0.03, epochs=1, runs=1,
+                                max_length_cap=32,
+                                zoo_settings=tiny_settings,
+                                zoo_dir=str(tiny_zoo_dir))
+        result = ablate_pretraining("bert", "dblp-acm", scale)
+        assert result.variant_a == "pretrained"
+        assert 0.0 <= result.f1_a <= 100.0
+        assert 0.0 <= result.f1_b <= 100.0
+        assert "pretraining" in result.rendered()
+
+    def test_same_seed_full_path_reproducible(self, tiny_bert, splits):
+        config = FineTuneConfig(epochs=1, max_length_cap=32)
+        a = fine_tune(tiny_bert, splits.train, splits.test, config, seed=9)
+        b = fine_tune(tiny_bert, splits.train, splits.test, config, seed=9)
+        assert a.f1_curve() == b.f1_curve()
+
+    def test_match_bias_off_still_trains(self, tiny_settings, tmp_path,
+                                         splits):
+        from dataclasses import replace as dc_replace
+        from repro.pretraining import get_pretrained, ZooSettings
+        # vanilla (no lexical prior) variant must run end to end too
+        settings = ZooSettings(**{**tiny_settings.__dict__})
+        pm = get_pretrained("bert", seed=0, settings=settings,
+                            zoo_dir=tmp_path)
+        pm.config.match_bias = False
+        pm2 = get_pretrained("bert", seed=0, settings=settings,
+                             zoo_dir=tmp_path)
+        result = fine_tune(pm2, splits.train, splits.test,
+                           FineTuneConfig(epochs=1, max_length_cap=32),
+                           seed=0)
+        assert len(result.history) == 2

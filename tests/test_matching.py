@@ -1,0 +1,203 @@
+"""Matching core: serialization, metrics, fine-tuning, EntityMatcher API."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import EMDataset, EntityPair, Record, load_benchmark, \
+    split_dataset
+from repro.matching import (EntityMatcher, FineTuneConfig, MatchingMetrics,
+                            choose_max_length, confusion_matrix,
+                            encode_dataset, evaluate_predictions, f1_score,
+                            fine_tune, pair_texts)
+from repro.utils import child_rng
+
+
+def _tiny_dataset(seed=7, scale=0.04, name="dblp-acm"):
+    data = load_benchmark(name, seed=seed, scale=scale)
+    return split_dataset(data, child_rng(seed, "split", name))
+
+
+class TestMetrics:
+    def test_perfect_predictions(self):
+        y = np.array([0, 1, 1, 0])
+        m = evaluate_predictions(y, y)
+        assert m.f1 == 1.0
+        assert m.precision == 1.0
+        assert m.recall == 1.0
+        assert m.accuracy == 1.0
+
+    def test_all_negative_zero_f1(self):
+        m = evaluate_predictions(np.array([1, 1, 0]), np.zeros(3, int))
+        assert m.f1 == 0.0
+        assert m.recall == 0.0
+
+    def test_confusion_matrix(self):
+        tp, fp, fn, tn = confusion_matrix(np.array([1, 1, 0, 0]),
+                                          np.array([1, 0, 1, 0]))
+        assert (tp, fp, fn, tn) == (1, 1, 1, 1)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.zeros(3), np.zeros(4))
+
+    def test_f1_known_value(self):
+        # P = 1/2, R = 1/3 -> F1 = 0.4
+        y_true = np.array([1, 1, 1, 0, 0])
+        y_pred = np.array([1, 0, 0, 1, 0])
+        assert abs(f1_score(y_true, y_pred) - 0.4) < 1e-9
+
+    def test_as_percent(self):
+        m = MatchingMetrics(0.5, 0.25, 1 / 3, 1, 1, 3, 5)
+        pct = m.as_percent()
+        assert abs(pct.f1 - 100 / 3) < 1e-6
+        assert pct.true_positives == 1
+
+    @given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)),
+                    min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_f1_bounds_property(self, pairs):
+        y_true = np.array([a for a, _ in pairs])
+        y_pred = np.array([b for _, b in pairs])
+        m = evaluate_predictions(y_true, y_pred)
+        assert 0.0 <= m.f1 <= 1.0
+        assert 0.0 <= m.precision <= 1.0
+        assert 0.0 <= m.recall <= 1.0
+        if m.precision and m.recall:
+            harmonic = 2 * m.precision * m.recall / (m.precision + m.recall)
+            assert abs(m.f1 - harmonic) < 1e-9
+
+
+class TestSerializer:
+    def _pair(self):
+        return EntityPair(Record({"title": "fast phone", "price": "9"}),
+                          Record({"title": "quick phone", "price": "9"}), 1)
+
+    def test_pair_texts_all_attributes(self):
+        a, b = pair_texts(self._pair(), ["title", "price"])
+        assert a == "fast phone 9"
+        assert b == "quick phone 9"
+
+    def test_pair_texts_subset(self):
+        a, _ = pair_texts(self._pair(), ["price"])
+        assert a == "9"
+
+    def test_choose_max_length_bounds(self, tiny_bert):
+        splits = _tiny_dataset()
+        length = choose_max_length(splits.train, tiny_bert.tokenizer,
+                                   cap=48)
+        assert 16 <= length <= 48
+
+    def test_choose_max_length_empty_dataset(self, tiny_bert):
+        empty = EMDataset("e", "d", ["t"], [])
+        assert choose_max_length(empty, tiny_bert.tokenizer) == 16
+
+    def test_encode_dataset_shapes(self, tiny_bert):
+        splits = _tiny_dataset()
+        encoded = encode_dataset(splits.test, tiny_bert.tokenizer, 32)
+        n = len(splits.test)
+        assert encoded.input_ids.shape == (n, 32)
+        assert encoded.segment_ids.shape == (n, 32)
+        assert encoded.pad_masks.shape == (n, 32)
+        assert encoded.labels.shape == (n,)
+        assert np.array_equal(encoded.labels,
+                              np.array(splits.test.labels()))
+
+    def test_encoded_batch_view(self, tiny_bert):
+        splits = _tiny_dataset()
+        encoded = encode_dataset(splits.test, tiny_bert.tokenizer, 32)
+        batch = encoded.batch(np.array([0, 2]))
+        assert len(batch) == 2
+        assert np.array_equal(batch.input_ids[1], encoded.input_ids[2])
+
+
+class TestFineTune:
+    def test_history_structure(self, tiny_bert):
+        splits = _tiny_dataset()
+        config = FineTuneConfig(epochs=2, batch_size=8, max_length_cap=32)
+        result = fine_tune(tiny_bert, splits.train, splits.test,
+                           config=config, seed=0)
+        assert len(result.history) == 3          # zero-shot + 2 epochs
+        assert result.history[0].epoch == 0
+        assert np.isnan(result.history[0].train_loss)
+        assert result.history[0].seconds == 0.0
+        assert all(r.seconds > 0 for r in result.history[1:])
+        assert len(result.f1_curve()) == 3
+        assert len(result.epoch_seconds()) == 2
+
+    def test_finetune_does_not_mutate_pretrained(self, tiny_bert):
+        splits = _tiny_dataset()
+        before = {name: value.copy() for name, value
+                  in tiny_bert.backbone.state_dict().items()}
+        fine_tune(tiny_bert, splits.train, splits.test,
+                  FineTuneConfig(epochs=1, max_length_cap=32), seed=0)
+        after = tiny_bert.backbone.state_dict()
+        for name, value in before.items():
+            assert np.array_equal(value, after[name])
+
+    def test_deterministic_given_seed(self, tiny_bert):
+        splits = _tiny_dataset()
+        config = FineTuneConfig(epochs=1, max_length_cap=32)
+        a = fine_tune(tiny_bert, splits.train, splits.test, config, seed=3)
+        b = fine_tune(tiny_bert, splits.train, splits.test, config, seed=3)
+        assert a.f1_curve() == b.f1_curve()
+
+    def test_loss_decreases_on_train(self, tiny_bert):
+        splits = _tiny_dataset(scale=0.06)
+        config = FineTuneConfig(epochs=3, max_length_cap=32)
+        result = fine_tune(tiny_bert, splits.train, splits.test, config,
+                           seed=1)
+        assert (result.history[-1].train_loss
+                < result.history[1].train_loss + 0.2)
+
+    def test_xlnet_finetunes(self, tiny_xlnet):
+        splits = _tiny_dataset()
+        result = fine_tune(tiny_xlnet, splits.train, splits.test,
+                           FineTuneConfig(epochs=1, max_length_cap=32),
+                           seed=0)
+        assert len(result.history) == 2
+
+
+class TestEntityMatcherAPI:
+    def test_unknown_arch_raises(self):
+        with pytest.raises(ValueError):
+            EntityMatcher("gpt2")
+
+    def test_predict_before_fit_raises(self, tiny_bert):
+        matcher = EntityMatcher("bert", pretrained=tiny_bert)
+        with pytest.raises(RuntimeError):
+            matcher.match({"t": "a"}, {"t": "b"})
+
+    def test_fit_evaluate_predict(self, tiny_bert):
+        splits = _tiny_dataset()
+        matcher = EntityMatcher(
+            "bert", pretrained=tiny_bert,
+            finetune_config=FineTuneConfig(epochs=1, max_length_cap=32))
+        matcher.fit(splits.train, splits.test)
+        assert matcher.is_fitted
+        metrics = matcher.evaluate(splits.test)
+        assert 0.0 <= metrics.f1 <= 1.0
+        predictions = matcher.predict(splits.test)
+        assert set(np.unique(predictions)) <= {0, 1}
+        assert len(predictions) == len(splits.test)
+
+    def test_single_pair_probability(self, tiny_bert):
+        splits = _tiny_dataset()
+        matcher = EntityMatcher(
+            "bert", pretrained=tiny_bert,
+            finetune_config=FineTuneConfig(epochs=1, max_length_cap=32))
+        matcher.fit(splits.train, splits.test)
+        pair = splits.test.pairs[0]
+        p = matcher.match_probability(pair.record_a, pair.record_b)
+        assert 0.0 <= p <= 1.0
+        assert matcher.match(pair.record_a, pair.record_b) == (p >= 0.5)
+
+    def test_match_accepts_plain_dicts(self, tiny_bert):
+        splits = _tiny_dataset()
+        matcher = EntityMatcher(
+            "bert", pretrained=tiny_bert,
+            finetune_config=FineTuneConfig(epochs=1, max_length_cap=32))
+        matcher.fit(splits.train, splits.test)
+        result = matcher.match({"title": "apexon phone zx1 black"},
+                               {"title": "apexon phone zx1 black"})
+        assert isinstance(result, bool)

@@ -1,0 +1,166 @@
+"""Deep numerical gradient checks of composite blocks.
+
+These go beyond per-op checks: whole attention/encoder blocks, XLNet's
+relative attention with its gather-based position scoring, and the
+two-stream path, verified against central differences in float64.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import default_config
+from repro.models.transformer import TransformerEncoderLayer
+from repro.models.xlnet import XLNetRelativeAttention, permutation_masks
+from repro.nn import MultiHeadAttention, Tensor
+
+from conftest import numerical_gradient
+
+
+def _to64(module):
+    """Cast all parameters of a module to float64 for tight tolerances."""
+    for param in module.parameters():
+        param.data = param.data.astype(np.float64)
+    return module
+
+
+class TestAttentionGradients:
+    def test_mha_input_gradient(self, rng):
+        mha = _to64(MultiHeadAttention(8, 2, rng, dropout=0.0))
+        x = rng.normal(size=(2, 5, 8))
+
+        def forward():
+            return float((mha(Tensor(x)) ** 2).sum().data)
+
+        t = Tensor(x, requires_grad=True)
+        (mha(t) ** 2).sum().backward()
+        numeric = numerical_gradient(forward, x)
+        assert np.abs(numeric - t.grad).max() < 1e-5
+
+    def test_mha_masked_gradient(self, rng):
+        mha = _to64(MultiHeadAttention(8, 2, rng, dropout=0.0))
+        x = rng.normal(size=(1, 4, 8))
+        mask = np.zeros((1, 1, 1, 4), dtype=bool)
+        mask[..., -1] = True
+
+        def forward():
+            return float((mha(Tensor(x), attention_mask=mask) ** 2)
+                         .sum().data)
+
+        t = Tensor(x, requires_grad=True)
+        (mha(t, attention_mask=mask) ** 2).sum().backward()
+        numeric = numerical_gradient(forward, x)
+        assert np.abs(numeric - t.grad).max() < 1e-5
+
+    def test_mha_projection_weight_gradient(self, rng):
+        mha = _to64(MultiHeadAttention(8, 2, rng, dropout=0.0))
+        x = rng.normal(size=(1, 3, 8))
+        weight = mha.v_proj.weight
+
+        def forward():
+            return float((mha(Tensor(x)) ** 2).sum().data)
+
+        (mha(Tensor(x, requires_grad=True)) ** 2).sum().backward()
+        numeric = numerical_gradient(forward, weight.data)
+        assert np.abs(numeric - weight.grad).max() < 1e-4
+
+    def test_match_gain_gradient(self, rng):
+        mha = _to64(MultiHeadAttention(8, 2, rng, dropout=0.0,
+                                       match_bias=True))
+        x = rng.normal(size=(1, 4, 8))
+        match = rng.normal(size=(1, 4, 4))
+        gain = mha.match_gain
+
+        def forward():
+            return float((mha(Tensor(x), match_scores=match) ** 2)
+                         .sum().data)
+
+        (mha(Tensor(x, requires_grad=True), match_scores=match) ** 2) \
+            .sum().backward()
+        numeric = numerical_gradient(forward, gain.data)
+        assert np.abs(numeric - gain.grad).max() < 1e-4
+
+
+class TestEncoderLayerGradients:
+    @pytest.mark.parametrize("pre_norm", [True, False])
+    def test_full_block_input_gradient(self, rng, pre_norm):
+        config = default_config("bert", vocab_size=30, d_model=8,
+                                num_layers=1, num_heads=2, max_position=8,
+                                dropout=0.0)
+        config.pre_norm = pre_norm
+        layer = _to64(TransformerEncoderLayer(config, rng))
+        x = rng.normal(size=(1, 4, 8))
+
+        def forward():
+            return float((layer(Tensor(x)) ** 2).sum().data)
+
+        t = Tensor(x, requires_grad=True)
+        (layer(t) ** 2).sum().backward()
+        numeric = numerical_gradient(forward, x)
+        assert np.abs(numeric - t.grad).max() < 1e-4
+
+
+class TestXLNetGradients:
+    def _attention(self, rng):
+        config = default_config("xlnet", vocab_size=30, d_model=8,
+                                num_layers=1, num_heads=2, max_position=8,
+                                dropout=0.0)
+        return _to64(XLNetRelativeAttention(config, rng))
+
+    def test_relative_attention_input_gradient(self, rng):
+        attention = self._attention(rng)
+        x = rng.normal(size=(1, 4, 8))
+        rel = rng.normal(size=(7, 8))
+
+        def forward():
+            return float((attention(Tensor(x), Tensor(x), Tensor(rel))
+                          ** 2).sum().data)
+
+        t = Tensor(x, requires_grad=True)
+        (attention(t, t, Tensor(rel)) ** 2).sum().backward()
+        numeric = numerical_gradient(forward, x)
+        assert np.abs(numeric - t.grad).max() < 1e-4
+
+    def test_position_bias_gradient(self, rng):
+        attention = self._attention(rng)
+        x = rng.normal(size=(1, 3, 8))
+        rel = rng.normal(size=(5, 8))
+        bias = attention.position_bias
+
+        def forward():
+            return float((attention(Tensor(x), Tensor(x), Tensor(rel))
+                          ** 2).sum().data)
+
+        (attention(Tensor(x, requires_grad=True), Tensor(x),
+                   Tensor(rel)) ** 2).sum().backward()
+        numeric = numerical_gradient(forward, bias.data)
+        assert np.abs(numeric - bias.grad).max() < 1e-4
+
+    def test_rel_projection_gradient(self, rng):
+        attention = self._attention(rng)
+        x = rng.normal(size=(1, 3, 8))
+        rel = rng.normal(size=(5, 8))
+        weight = attention.r_proj.weight
+
+        def forward():
+            return float((attention(Tensor(x), Tensor(x), Tensor(rel))
+                          ** 2).sum().data)
+
+        (attention(Tensor(x, requires_grad=True), Tensor(x),
+                   Tensor(rel)) ** 2).sum().backward()
+        numeric = numerical_gradient(forward, weight.data)
+        assert np.abs(numeric - weight.grad).max() < 1e-4
+
+    def test_permutation_mask_consistency_property(self, rng):
+        for _ in range(10):
+            order = rng.permutation(int(rng.integers(2, 9)))
+            content, query = permutation_masks(order)
+            n = len(order)
+            # content = query minus the diagonal (self-visibility)
+            assert np.array_equal(content | np.eye(n, dtype=bool),
+                                  query | np.eye(n, dtype=bool))
+            assert not content.diagonal().any()
+            assert query.diagonal().all()
+            # the k-th element of the order sees exactly k-1 others
+            for position_rank, position in enumerate(order):
+                visible = (~query[position]).sum()
+                assert visible == position_rank

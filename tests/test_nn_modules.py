@@ -1,0 +1,358 @@
+"""Module system, layers, attention, RNN cells, losses, optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (Adam, BiRNN, ConstantSchedule, Dropout, Embedding,
+                      GRUCell, LayerNorm, Linear, LinearSchedule, LSTMCell,
+                      Module, ModuleList, MultiHeadAttention, Parameter,
+                      SGD, Sequential, Tensor, binary_cross_entropy_with_logits,
+                      clip_grad_norm, cosine_embedding_loss, cross_entropy,
+                      distillation_loss, load_checkpoint, mse_loss, no_grad,
+                      padding_attention_mask, save_checkpoint)
+
+from conftest import numerical_gradient
+
+
+class TestModuleSystem:
+    def test_named_parameters_nested(self, rng):
+        class Child(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.ones(2))
+
+        class Root(Module):
+            def __init__(self):
+                super().__init__()
+                self.child = Child()
+                self.bias = Parameter(np.zeros(3))
+
+        names = dict(Root().named_parameters())
+        assert set(names) == {"child.w", "bias"}
+
+    def test_state_dict_roundtrip(self, rng):
+        lin = Linear(4, 3, rng)
+        other = Linear(4, 3, rng)
+        other.load_state_dict(lin.state_dict())
+        assert np.allclose(lin.weight.data, other.weight.data)
+
+    def test_load_state_dict_missing_key_raises(self, rng):
+        lin = Linear(4, 3, rng)
+        state = lin.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            lin.load_state_dict(state)
+
+    def test_load_state_dict_shape_mismatch_raises(self, rng):
+        lin = Linear(4, 3, rng)
+        state = lin.state_dict()
+        state["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            lin.load_state_dict(state)
+
+    def test_train_eval_propagates(self, rng):
+        seq = Sequential(Linear(2, 2, rng), Dropout(0.5, rng))
+        seq.eval()
+        assert all(not m.training for m in seq.modules())
+        seq.train()
+        assert all(m.training for m in seq.modules())
+
+    def test_module_list_indexing(self, rng):
+        layers = ModuleList([Linear(2, 2, rng) for _ in range(3)])
+        assert len(layers) == 3
+        assert layers[1] is list(layers)[1]
+        assert len(layers.parameters()) == 6
+
+    def test_num_parameters(self, rng):
+        lin = Linear(4, 3, rng)
+        assert lin.num_parameters() == 4 * 3 + 3
+
+
+class TestLayers:
+    def test_linear_shape_and_value(self, rng):
+        lin = Linear(4, 3, rng)
+        x = rng.normal(size=(2, 4))
+        out = lin(Tensor(x))
+        expected = x @ lin.weight.data.T + lin.bias.data
+        assert np.allclose(out.data, expected, atol=1e-6)
+
+    def test_linear_no_bias(self, rng):
+        lin = Linear(4, 3, rng, bias=False)
+        assert lin.bias is None
+        assert len(lin.parameters()) == 1
+
+    def test_embedding_out_of_range_raises(self, rng):
+        emb = Embedding(5, 3, rng)
+        with pytest.raises(IndexError):
+            emb(np.array([[0, 5]]))
+
+    def test_embedding_lookup(self, rng):
+        emb = Embedding(5, 3, rng)
+        out = emb(np.array([[1, 4]]))
+        assert np.allclose(out.data[0, 0], emb.weight.data[1])
+
+    def test_layernorm_trains(self, rng):
+        ln = LayerNorm(4)
+        out = ln(Tensor(rng.normal(size=(2, 4)), requires_grad=True))
+        out.sum().backward()
+        assert ln.weight.grad is not None
+
+    def test_dropout_eval_is_identity(self, rng):
+        drop = Dropout(0.9, rng)
+        drop.eval()
+        x = Tensor(rng.normal(size=(5,)))
+        assert np.allclose(drop(x).data, x.data)
+
+    def test_dropout_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+    def test_sequential_order(self, rng):
+        seq = Sequential(Linear(2, 3, rng), Linear(3, 1, rng))
+        out = seq(Tensor(rng.normal(size=(4, 2))))
+        assert out.shape == (4, 1)
+        assert len(seq) == 2
+
+
+class TestAttention:
+    def test_output_shape(self, rng):
+        mha = MultiHeadAttention(8, 2, rng, dropout=0.0)
+        out = mha(Tensor(rng.normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_invalid_heads_raises(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(7, 2, rng)
+
+    def test_padding_mask_blocks_positions(self, rng):
+        mha = MultiHeadAttention(8, 2, rng, dropout=0.0)
+        x = rng.normal(size=(1, 4, 8))
+        pad = np.array([[False, False, False, True]])
+        base = mha(Tensor(x), attention_mask=padding_attention_mask(pad))
+        x2 = x.copy()
+        x2[0, 3] = 99.0  # content of masked key must not matter
+        changed = mha(Tensor(x2),
+                      attention_mask=padding_attention_mask(pad))
+        assert np.allclose(base.data[:, :3], changed.data[:, :3], atol=1e-4)
+
+    def test_gradients_flow_to_all_projections(self, rng):
+        mha = MultiHeadAttention(8, 2, rng, dropout=0.0)
+        out = mha(Tensor(rng.normal(size=(2, 4, 8)), requires_grad=True))
+        (out ** 2).sum().backward()
+        for p in mha.parameters():
+            assert p.grad is not None
+
+    def test_match_bias_shifts_attention(self, rng):
+        mha = MultiHeadAttention(8, 2, rng, dropout=0.0, match_bias=True)
+        x = rng.normal(size=(1, 4, 8))
+        match = np.zeros((1, 4, 4), dtype=np.float32)
+        base = mha(Tensor(x), match_scores=match)
+        match2 = match.copy()
+        match2[0, 0, 2] = 5.0
+        biased = mha(Tensor(x), match_scores=match2)
+        assert not np.allclose(base.data[0, 0], biased.data[0, 0])
+
+    def test_match_gain_is_trainable(self, rng):
+        mha = MultiHeadAttention(8, 2, rng, dropout=0.0, match_bias=True)
+        x = Tensor(rng.normal(size=(1, 4, 8)), requires_grad=True)
+        match = rng.normal(size=(1, 4, 4)).astype(np.float32)
+        (mha(x, match_scores=match) ** 2).sum().backward()
+        assert mha.match_gain.grad is not None
+
+
+class TestRNN:
+    @pytest.mark.parametrize("cell", ["gru", "lstm"])
+    def test_birnn_shape(self, rng, cell):
+        net = BiRNN(6, 4, rng, cell=cell)
+        out = net(Tensor(rng.normal(size=(2, 5, 6))))
+        assert out.shape == (2, 5, 8)
+
+    def test_birnn_invalid_cell(self, rng):
+        with pytest.raises(ValueError):
+            BiRNN(4, 4, rng, cell="vanilla")
+
+    def test_gru_cell_step(self, rng):
+        cell = GRUCell(3, 4, rng)
+        h = cell(Tensor(rng.normal(size=(2, 3))), cell.initial_state(2))
+        assert h.shape == (2, 4)
+
+    def test_lstm_cell_step(self, rng):
+        cell = LSTMCell(3, 4, rng)
+        h, c = cell(Tensor(rng.normal(size=(2, 3))), cell.initial_state(2))
+        assert h.shape == (2, 4)
+        assert c.shape == (2, 4)
+
+    def test_lstm_forget_bias_initialized_open(self, rng):
+        cell = LSTMCell(3, 4, rng)
+        assert np.all(cell.x2h.bias.data[4:8] == 1.0)
+
+    def test_birnn_gradients(self, rng):
+        net = BiRNN(3, 2, rng, cell="gru")
+        x = Tensor(rng.normal(size=(1, 3, 3)), requires_grad=True)
+        (net(x) ** 2).sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in net.parameters())
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.normal(size=(4, 3))
+        targets = np.array([0, 1, 2, 1])
+        loss = cross_entropy(Tensor(logits), targets)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        probs = np.exp(shifted) / np.exp(shifted).sum(axis=1, keepdims=True)
+        manual = -np.log(probs[np.arange(4), targets]).mean()
+        assert abs(float(loss.data) - manual) < 1e-6
+
+    def test_cross_entropy_ignore_index(self, rng):
+        logits = rng.normal(size=(4, 3))
+        targets = np.array([0, -100, 2, -100])
+        loss = cross_entropy(Tensor(logits), targets, ignore_index=-100)
+        kept = cross_entropy(Tensor(logits[[0, 2]]), np.array([0, 2]))
+        assert abs(float(loss.data) - float(kept.data)) < 1e-6
+
+    def test_cross_entropy_all_ignored_is_zero_grad(self, rng):
+        logits = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        loss = cross_entropy(logits, np.array([-100, -100]),
+                             ignore_index=-100)
+        loss.backward()
+        assert float(loss.data) == 0.0
+
+    def test_cross_entropy_class_weights(self, rng):
+        logits = rng.normal(size=(4, 2))
+        targets = np.array([0, 0, 0, 1])
+        unweighted = cross_entropy(Tensor(logits), targets)
+        weighted = cross_entropy(Tensor(logits), targets,
+                                 class_weights=np.array([1.0, 3.0]))
+        assert float(weighted.data) != float(unweighted.data)
+
+    def test_class_weights_and_ignore_exclusive(self, rng):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(rng.normal(size=(2, 2))), np.array([0, 1]),
+                          ignore_index=-100, class_weights=np.ones(2))
+
+    def test_cross_entropy_flattens_3d(self, rng):
+        logits = Tensor(rng.normal(size=(2, 3, 5)))
+        targets = rng.integers(0, 5, size=(2, 3))
+        assert cross_entropy(logits, targets).size == 1
+
+    def test_bce_with_logits(self, rng):
+        logits = Tensor(rng.normal(size=(6,)))
+        loss = binary_cross_entropy_with_logits(
+            logits, (rng.random(6) > 0.5).astype(float))
+        assert float(loss.data) > 0.0
+
+    def test_distillation_loss_minimized_at_teacher(self, rng):
+        teacher = rng.normal(size=(5, 7))
+        matched = distillation_loss(Tensor(teacher.copy()), teacher)
+        off = distillation_loss(Tensor(rng.normal(size=(5, 7))), teacher)
+        assert float(matched.data) < float(off.data)
+
+    def test_cosine_loss_zero_for_same_direction(self, rng):
+        h = rng.normal(size=(2, 3, 4))
+        loss = cosine_embedding_loss(Tensor(h), 2.0 * h)
+        assert float(loss.data) < 1e-5
+
+    def test_mse_loss(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert abs(float(mse_loss(pred, np.array([0.0, 0.0])).data)
+                   - 2.5) < 1e-9
+
+    def test_cross_entropy_grad(self, rng):
+        logits = rng.normal(size=(3, 4))
+        targets = np.array([1, 0, 3])
+        t = Tensor(logits, requires_grad=True)
+        cross_entropy(t, targets).backward()
+        def f():
+            return float(cross_entropy(Tensor(logits), targets).data)
+        num = numerical_gradient(f, logits)
+        assert np.abs(num - t.grad).max() < 1e-6
+
+
+class TestOptim:
+    def test_sgd_reduces_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        opt = SGD([p], lr=0.1)
+        for _ in range(50):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert abs(float(p.data[0])) < 0.1
+
+    def test_sgd_momentum_faster_than_plain(self):
+        def final(momentum):
+            p = Parameter(np.array([5.0]))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(60):
+                opt.zero_grad()
+                (p * p).sum().backward()
+                opt.step()
+            return abs(float(p.data[0]))
+        assert final(0.9) < final(0.0)
+
+    def test_adam_reduces_quadratic(self):
+        p = Parameter(np.array([3.0, -4.0]))
+        opt = Adam([p], lr=0.2)
+        for _ in range(100):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert np.abs(p.data).max() < 0.2
+
+    def test_adam_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.01, weight_decay=0.5)
+        for _ in range(20):
+            opt.zero_grad()
+            (p * 0.0).sum().backward()
+            opt.step()
+        assert abs(float(p.data[0])) < 1.0
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([10.0])
+        total = clip_grad_norm([p], max_norm=1.0)
+        assert abs(total - 10.0) < 1e-9
+        assert abs(np.linalg.norm(p.grad) - 1.0) < 1e-6
+
+    def test_linear_schedule_warmup_and_decay(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=1.0)
+        sched = LinearSchedule(opt, base_lr=1.0, total_steps=10,
+                               warmup_steps=2)
+        lrs = [opt.lr]
+        for _ in range(10):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs[0] < lrs[1]           # warming up
+        assert lrs[-1] <= lrs[3]         # decaying
+        assert lrs[-1] == 0.0
+
+    def test_linear_schedule_invalid_steps(self):
+        p = Parameter(np.array([1.0]))
+        with pytest.raises(ValueError):
+            LinearSchedule(Adam([p]), 1.0, total_steps=0)
+
+    def test_constant_schedule(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.5)
+        sched = ConstantSchedule(opt, 0.3)
+        sched.step()
+        assert opt.lr == 0.3
+
+
+class TestCheckpointIO:
+    def test_checkpoint_roundtrip(self, rng, tmp_path):
+        lin = Linear(3, 2, rng)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, lin.state_dict(), metadata={"kind": "test"})
+        state, meta = load_checkpoint(path)
+        assert meta == {"kind": "test"}
+        assert np.allclose(state["weight"], lin.weight.data)
+
+    def test_checkpoint_without_metadata(self, rng, tmp_path):
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, {"a": np.ones(3)})
+        state, meta = load_checkpoint(path)
+        assert meta is None
+        assert np.allclose(state["a"], 1.0)

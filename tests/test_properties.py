@@ -1,0 +1,139 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.similarity import (jaccard_tokens,
+                                        levenshtein_distance)
+from repro.data import EMDataset, EntityPair, Record, split_dataset
+from repro.data.dirty import dirty_record
+from repro.matching.metrics import evaluate_predictions
+from repro.nn import Tensor
+from repro.tokenizers import normalize_text
+
+
+# -- autodiff invariants ----------------------------------------------------
+
+@given(st.lists(st.floats(-10, 10), min_size=1, max_size=16))
+@settings(max_examples=40, deadline=None)
+def test_softmax_is_distribution(values):
+    probs = Tensor(np.array(values)).softmax().data
+    assert np.all(probs >= 0)
+    assert abs(probs.sum() - 1.0) < 1e-6
+
+
+@given(st.lists(st.floats(-5, 5), min_size=2, max_size=10),
+       st.floats(0.1, 3.0))
+@settings(max_examples=40, deadline=None)
+def test_gradient_linearity_in_scale(values, scale):
+    """d/dx [c * f(x)] == c * d/dx f(x) for f = sum of squares."""
+    x = np.array(values)
+    t1 = Tensor(x.copy(), requires_grad=True)
+    ((t1 * t1).sum() * scale).backward()
+    t2 = Tensor(x.copy(), requires_grad=True)
+    (t2 * t2).sum().backward()
+    assert np.allclose(t1.grad, scale * t2.grad, rtol=1e-6)
+
+
+@given(st.integers(1, 4), st.integers(1, 6))
+@settings(max_examples=25, deadline=None)
+def test_sum_then_mean_consistency(rows, cols):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(rows, cols))
+    total = float(Tensor(x).sum().data)
+    mean = float(Tensor(x).mean().data)
+    assert abs(total - mean * rows * cols) < 1e-6
+
+
+# -- metric invariants --------------------------------------------------------
+
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_perfect_prediction_is_always_best(labels):
+    y = np.array(labels)
+    perfect = evaluate_predictions(y, y)
+    flipped = evaluate_predictions(y, 1 - y)
+    assert perfect.f1 >= flipped.f1
+    assert perfect.accuracy == 1.0
+
+
+@given(st.lists(st.integers(0, 1), min_size=2, max_size=40),
+       st.lists(st.integers(0, 1), min_size=2, max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_precision_recall_symmetry(a, b):
+    """Swapping y_true and y_pred swaps precision and recall."""
+    n = min(len(a), len(b))
+    y1, y2 = np.array(a[:n]), np.array(b[:n])
+    m_forward = evaluate_predictions(y1, y2)
+    m_backward = evaluate_predictions(y2, y1)
+    assert abs(m_forward.precision - m_backward.recall) < 1e-12
+    assert abs(m_forward.recall - m_backward.precision) < 1e-12
+    assert abs(m_forward.f1 - m_backward.f1) < 1e-12
+
+
+# -- similarity invariants ------------------------------------------------------
+
+@given(st.text("abcdef", max_size=10), st.text("abcdef", max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_levenshtein_symmetry_and_triangle(a, b):
+    assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+    assert levenshtein_distance(a, b) <= max(len(a), len(b))
+
+
+@given(st.text("abcdef", max_size=10), st.text("abcdef", max_size=10),
+       st.text("abcdef", max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_levenshtein_triangle_inequality(a, b, c):
+    assert (levenshtein_distance(a, c)
+            <= levenshtein_distance(a, b) + levenshtein_distance(b, c))
+
+
+@given(st.text("ab ", max_size=20), st.text("ab ", max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_jaccard_symmetry(a, b):
+    assert jaccard_tokens(a, b) == jaccard_tokens(b, a)
+
+
+# -- data invariants ------------------------------------------------------------
+
+@given(st.dictionaries(st.sampled_from(["title", "brand", "price", "x"]),
+                       st.text("abc 0", max_size=12), min_size=1,
+                       max_size=4),
+       st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_dirty_record_preserves_token_multiset(values, seed):
+    if "title" not in values:
+        values["title"] = "base"
+    record = Record(dict(values))
+    corrupted = dirty_record(record, "title",
+                             np.random.default_rng(seed))
+    before = sorted(" ".join(record.values.values()).split())
+    after = sorted(" ".join(corrupted.values.values()).split())
+    assert before == after
+
+
+@given(st.integers(10, 80), st.integers(1, 9),
+       st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_split_partition_property(n, positives_per_ten, seed):
+    labels = [1 if i % 10 < positives_per_ten else 0 for i in range(n)]
+    pairs = [EntityPair(Record({"t": str(i)}), Record({"t": str(i)}),
+                        label) for i, label in enumerate(labels)]
+    dataset = EMDataset("p", "x", ["t"], pairs)
+    splits = split_dataset(dataset, np.random.default_rng(seed))
+    sizes = (len(splits.train), len(splits.validation), len(splits.test))
+    assert sum(sizes) == n
+    assert sizes[0] >= sizes[1] >= 0
+    total_matches = (splits.train.stats().num_matches
+                     + splits.validation.stats().num_matches
+                     + splits.test.stats().num_matches)
+    assert total_matches == sum(labels)
+
+
+# -- normalization invariants ------------------------------------------------
+
+@given(st.text(max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_normalize_idempotent(text):
+    once = normalize_text(text)
+    assert normalize_text(once) == once
