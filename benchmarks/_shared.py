@@ -7,6 +7,13 @@ variables).  Each run prints the rows/series the paper reports, side by
 side with the paper's numbers where applicable, and writes the same text
 to ``benchmarks/out/``.  Completed fine-tuning cells are cached in
 ``.bench_cache`` so the table and figure benches share work.
+
+Telemetry: ``run_once`` bookmarks the process tracer before the timed
+call, and ``emit`` writes a ``<name>.telemetry.jsonl`` sidecar next to
+the text output containing every tracing span recorded during the run
+(fine-tune epochs/evals, pre-training, DeepMatcher epochs, ...), so the
+BENCH_*.json trajectories gain per-phase timing.  Render a sidecar with
+``python -m repro telemetry benchmarks/out/<name>.telemetry.jsonl``.
 """
 
 from __future__ import annotations
@@ -14,8 +21,13 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.evaluation import ExperimentScale
+from repro.obs import JsonlSink, TelemetryRun, default_tracer
 
 OUT_DIR = Path(__file__).parent / "out"
+
+# Tracer bookmark taken by the most recent run_once(); emit() drains the
+# spans completed after it into the telemetry sidecar.
+_TRACE_MARK = 0
 
 
 def bench_scale() -> ExperimentScale:
@@ -26,10 +38,21 @@ def emit(name: str, text: str) -> str:
     """Print a result block and persist it under benchmarks/out/."""
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    _write_telemetry_sidecar(name)
     print(f"\n{text}\n")
     return text
 
 
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
+    global _TRACE_MARK
+    _TRACE_MARK = default_tracer().mark()
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def _write_telemetry_sidecar(name: str) -> None:
+    path = OUT_DIR / f"{name}.telemetry.jsonl"
+    run = TelemetryRun(JsonlSink(path), run_id=f"bench-{name}",
+                       span_mark=_TRACE_MARK)
+    run.emit("run_begin", command="bench", name=name)
+    run.close()

@@ -17,7 +17,8 @@ destruction hurts the attribute-aligned baseline most.
 from repro.baselines import DeepMatcher, DeepMatcherConfig, MagellanMatcher
 from repro.data import load_benchmark, split_dataset
 from repro.matching import EntityMatcher, FineTuneConfig
-from repro.utils import Timer, child_rng, format_table
+from repro.obs import trace
+from repro.utils import child_rng, format_table
 
 
 def main() -> None:
@@ -32,28 +33,28 @@ def main() -> None:
 
     rows = []
 
-    with Timer() as timer:
+    with trace("magellan") as span:
         magellan = MagellanMatcher(seed=0).run(
             splits.train, splits.validation, splits.test)
     rows.append(["Magellan", magellan.chosen_learner,
                  f"{magellan.test_metrics.f1 * 100:.1f}",
-                 f"{timer.elapsed:.0f}s"])
+                 f"{span.wall:.0f}s"])
 
-    with Timer() as timer:
+    with trace("deepmatcher") as span:
         deepmatcher = DeepMatcher(DeepMatcherConfig(epochs=6),
                                   seed=0).run(
             splits.train, splits.validation, splits.test)
     rows.append(["DeepMatcher", deepmatcher.chosen_variant,
                  f"{deepmatcher.test_metrics.f1 * 100:.1f}",
-                 f"{timer.elapsed:.0f}s"])
+                 f"{span.wall:.0f}s"])
 
-    with Timer() as timer:
+    with trace("transformer") as span:
         matcher = EntityMatcher(
             "roberta", finetune_config=FineTuneConfig(epochs=4))
         matcher.fit(splits.train, splits.test)
         transformer = matcher.evaluate(splits.test)
     rows.append(["Transformer", "roberta",
-                 f"{transformer.f1 * 100:.1f}", f"{timer.elapsed:.0f}s"])
+                 f"{transformer.f1 * 100:.1f}", f"{span.wall:.0f}s"])
 
     print(format_table(["System", "selected model", "test F1", "time"],
                        rows, title="Dirty-citation bake-off"))

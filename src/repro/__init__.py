@@ -15,7 +15,9 @@ Layers (bottom-up):
 * :mod:`repro.matching` - the paper's contribution: pair serialization,
   fine-tuning, :class:`repro.matching.EntityMatcher`;
 * :mod:`repro.baselines` - Magellan and DeepMatcher;
-* :mod:`repro.evaluation` - tables, figures, convergence, ablations.
+* :mod:`repro.evaluation` - tables, figures, convergence, ablations;
+* :mod:`repro.obs` - metrics registry, tracing spans, telemetry events,
+  training callbacks, op-level profiler.
 
 Quickstart::
 
@@ -32,8 +34,8 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import (baselines, data, evaluation, matching, models, nn,
+from . import (baselines, data, evaluation, matching, models, nn, obs,
                pretraining, tokenizers, utils)
 
 __all__ = ["nn", "tokenizers", "models", "pretraining", "data", "matching",
-           "baselines", "evaluation", "utils", "__version__"]
+           "baselines", "evaluation", "obs", "utils", "__version__"]

@@ -7,6 +7,7 @@ also reports "the best performing of the four DeepMatcher DL models").
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -14,8 +15,9 @@ import numpy as np
 from ...data import EMDataset
 from ...matching.metrics import MatchingMetrics, evaluate_predictions
 from ...nn import Adam, clip_grad_norm, cross_entropy, no_grad
+from ...obs import CallbackList, trace
 from ..magellan.matcher import _best_threshold
-from ...utils import Timer, child_rng
+from ...utils import child_rng
 from .model import DeepMatcherModel, VARIANTS
 from .vocab import WordVocab
 
@@ -69,9 +71,10 @@ class DeepMatcher:
     """Best-of-four-variants DeepMatcher baseline."""
 
     def __init__(self, config: DeepMatcherConfig | None = None,
-                 seed: int = 0):
+                 seed: int = 0, callbacks=None):
         self.config = config or DeepMatcherConfig()
         self.seed = seed
+        self._callbacks = CallbackList.resolve(callbacks)
         self._vocab: WordVocab | None = None
         self._model: DeepMatcherModel | None = None
         self.chosen_variant: str | None = None
@@ -89,12 +92,17 @@ class DeepMatcher:
         class_weights = np.array([1.0, negatives / positives])
         n = len(train)
         batch = self.config.batch_size
+        cb = self._callbacks
         seconds = []
-        for _ in range(self.config.epochs):
+        global_step = 0
+        for epoch in range(1, self.config.epochs + 1):
             order = rng.permutation(n)
-            with Timer() as timer:
+            losses = []
+            with trace("deepmatcher-epoch", variant=variant,
+                       epoch=epoch) as span:
                 starts = list(range(0, n - batch + 1, batch)) or [0]
                 for start in starts:
+                    step_t0 = time.perf_counter() if cb else 0.0
                     idx = order[start:start + batch]
                     optimizer.zero_grad()
                     logits = model(train.ids_a[idx], train.ids_b[idx],
@@ -102,10 +110,26 @@ class DeepMatcher:
                     loss = cross_entropy(logits, train.labels[idx],
                                          class_weights=class_weights)
                     loss.backward()
-                    clip_grad_norm(model.parameters(),
-                                   self.config.grad_clip)
+                    grad_norm = clip_grad_norm(model.parameters(),
+                                               self.config.grad_clip)
                     optimizer.step()
-            seconds.append(timer.elapsed)
+                    losses.append(float(loss.data))
+                    if cb:
+                        elapsed = time.perf_counter() - step_t0
+                        cb.on_step({
+                            "phase": "deepmatcher", "variant": variant,
+                            "step": global_step, "epoch": epoch,
+                            "loss": losses[-1], "lr": optimizer.lr,
+                            "grad_norm": grad_norm, "seconds": elapsed,
+                            "examples_per_sec":
+                                len(idx) / max(elapsed, 1e-9)})
+                    global_step += 1
+            seconds.append(span.wall)
+            if cb:
+                cb.on_epoch_end({
+                    "phase": "deepmatcher", "variant": variant,
+                    "epoch": epoch, "train_loss": float(np.mean(losses)),
+                    "seconds": span.wall})
         self.epoch_seconds[variant] = float(np.mean(seconds))
         return model
 
@@ -138,17 +162,32 @@ class DeepMatcher:
                                 self.config.max_length)
                        if validation is not None and len(validation)
                        else encoded_train)
+        cb = self._callbacks
+        if cb:
+            cb.on_train_begin({
+                "phase": "deepmatcher", "epochs": self.config.epochs,
+                "batch_size": self.config.batch_size,
+                "variants": list(self.config.variants),
+                "train_size": len(encoded_train)})
         best = (-1.0, None, None, 0.5)
         for variant in self.config.variants:
             rng = child_rng(self.seed, "deepmatcher", variant)
             model = self._train_variant(variant, encoded_train, rng)
-            probabilities = self._proba_encoded(model, encoded_val)
-            threshold, f1 = _best_threshold(encoded_val.labels,
-                                            probabilities)
+            with trace("deepmatcher-eval", variant=variant):
+                probabilities = self._proba_encoded(model, encoded_val)
+                threshold, f1 = _best_threshold(encoded_val.labels,
+                                                probabilities)
+            if cb:
+                cb.on_eval({"phase": "deepmatcher", "variant": variant,
+                            "epoch": self.config.epochs, "f1": f1})
             if f1 > best[0]:
                 best = (f1, variant, model, threshold)
         self._validation_f1, self.chosen_variant = best[0], best[1]
         self._model, self._threshold = best[2], best[3]
+        if cb:
+            cb.on_train_end({"phase": "deepmatcher",
+                             "chosen_variant": self.chosen_variant,
+                             "validation_f1": self._validation_f1})
         return self
 
     def predict(self, dataset: EMDataset) -> np.ndarray:

@@ -15,6 +15,9 @@ Commands
     Regenerate Table 3, 5 or 6.
 ``figure``
     Regenerate one of Figures 10-14.
+``telemetry``
+    Render a report (spans, op-FLOP table, loss/F1 curves) from a
+    telemetry JSONL file produced by ``match --telemetry``.
 """
 
 from __future__ import annotations
@@ -61,12 +64,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.08)
     p.add_argument("--epochs", type=int, default=4)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--telemetry", metavar="PATH", default=None,
+                   help="write a JSONL telemetry event stream to PATH "
+                        "(render it with `repro telemetry PATH`)")
+    p.add_argument("--zoo-dir", default=None,
+                   help="model-zoo cache directory (default: "
+                        "REPRO_ZOO_DIR or ~/.cache/repro/zoo)")
+    p.add_argument("--smoke", action="store_true",
+                   help="use a tiny pre-training scale (CI smoke checks; "
+                        "accuracy is meaningless at this scale)")
 
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("number", type=int, choices=[3, 5, 6])
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("number", type=int, choices=[10, 11, 12, 13, 14])
+
+    p = sub.add_parser("telemetry",
+                       help="render a report from a telemetry JSONL file")
+    p.add_argument("jsonl", help="path to a run's .jsonl event stream")
 
     return parser
 
@@ -97,16 +113,41 @@ def _cmd_pretrain(args) -> int:
     return 0
 
 
+def _smoke_zoo_settings():
+    from .pretraining import ZooSettings
+    return ZooSettings(base_steps=25, base_examples=150,
+                       tokenizer_sentences=150, vocab_size=220,
+                       d_model=32, num_layers=2, num_heads=2,
+                       max_position=64, seq_len=32)
+
+
 def _cmd_match(args) -> int:
     from .matching import EntityMatcher, FineTuneConfig
     data = load_benchmark(args.dataset, seed=args.seed, scale=args.scale)
     splits = split_dataset(data, child_rng(args.seed, "split"))
     matcher = EntityMatcher(
-        args.arch, finetune_config=FineTuneConfig(epochs=args.epochs))
-    matcher.fit(splits.train, splits.test, log=print)
+        args.arch, finetune_config=FineTuneConfig(epochs=args.epochs),
+        zoo_settings=_smoke_zoo_settings() if args.smoke else None,
+        zoo_dir=args.zoo_dir)
+
+    run = None
+    callbacks = None
+    if args.telemetry:
+        from .obs import JsonlSink, TelemetryCallback, TelemetryRun
+        run = TelemetryRun(JsonlSink(args.telemetry),
+                           run_id=f"match-{args.arch}-{args.dataset}")
+        run.emit("run_begin", command="match", arch=args.arch,
+                 dataset=args.dataset, scale=args.scale,
+                 epochs=args.epochs, seed=args.seed, smoke=args.smoke)
+        callbacks = [TelemetryCallback(run)]
+
+    matcher.fit(splits.train, splits.test, log=print, callbacks=callbacks)
     metrics = matcher.evaluate(splits.test).as_percent()
     print(f"\n{args.arch} on {data.name}: F1 {metrics.f1:.1f} "
           f"(P {metrics.precision:.1f} / R {metrics.recall:.1f})")
+    if run is not None:
+        run.close()
+        print(f"telemetry written to {args.telemetry}")
     return 0
 
 
@@ -129,6 +170,21 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_telemetry(args) -> int:
+    import json
+    from .obs import load_report
+    try:
+        print(load_report(args.jsonl))
+    except FileNotFoundError:
+        print(f"error: no such telemetry file: {args.jsonl}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.jsonl} is not JSONL telemetry "
+              f"(line {exc.lineno}: {exc.msg})", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "generate": _cmd_generate,
@@ -136,6 +192,7 @@ _COMMANDS = {
     "match": _cmd_match,
     "table": _cmd_table,
     "figure": _cmd_figure,
+    "telemetry": _cmd_telemetry,
 }
 
 

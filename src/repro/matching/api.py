@@ -74,15 +74,20 @@ class EntityMatcher:
         return self._result is not None
 
     def fit(self, train: EMDataset, test: EMDataset | None = None,
-            log=None) -> FineTuneResult:
+            log=None, callbacks=None) -> FineTuneResult:
         """Fine-tune on ``train``; track per-epoch F1 on ``test`` if given
-        (otherwise on a slice of the training data)."""
+        (otherwise on a slice of the training data).
+
+        ``callbacks`` takes :class:`repro.obs.Callback` instances; ``log``
+        is the legacy print hook (still supported).
+        """
         eval_set = test if test is not None else train[: max(len(train) // 5, 1)]
         self._schema = list(train.schema)
         self._text_attributes = train.text_attributes
         self._result = fine_tune(self.pretrained, train, eval_set,
                                  config=self.finetune_config,
-                                 seed=self.seed, log=log)
+                                 seed=self.seed, log=log,
+                                 callbacks=callbacks)
         return self._result
 
     # -- inference --------------------------------------------------------------

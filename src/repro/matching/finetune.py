@@ -4,10 +4,18 @@ Implements the paper's protocol (§5.2.2): Adam with a linear learning-rate
 schedule, the CLS hidden state into a fresh classification head, and
 per-epoch evaluation on the test split — including the *zero-shot*
 (epoch 0, no fine-tuning) point used in the convergence analysis.
+
+Instrumentation: the loop reports through the :mod:`repro.obs` callback
+protocol — ``train_begin``, per-step ``step`` (loss / lr / grad-norm /
+examples-per-sec), per-epoch ``eval`` + ``epoch_end``, and ``train_end``
+— and wraps epochs/evals in tracing spans.  The legacy ``log=`` print
+hook still works (it is shimmed onto a ``LoggingCallback``); with no
+callbacks and no log, the loop skips all payload construction.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -16,8 +24,9 @@ from ..data import EMDataset
 from ..models import SequenceClassifier
 from ..nn import (Adam, LinearSchedule, Module, clip_grad_norm,
                   cross_entropy, no_grad)
+from ..obs import CallbackList, trace
 from ..pretraining import PretrainedModel
-from ..utils import Timer, child_rng
+from ..utils import child_rng
 from .metrics import MatchingMetrics, evaluate_predictions
 from .serializer import EncodedPairs, choose_max_length, encode_dataset
 
@@ -62,13 +71,20 @@ class FineTuneResult:
     history: list[EpochRecord] = field(default_factory=list)
     max_length: int = 0
 
+    def _require_history(self) -> list[EpochRecord]:
+        if not self.history:
+            raise ValueError(
+                "FineTuneResult.history is empty — the run recorded no "
+                "epochs, so best_f1/final_f1 are undefined")
+        return self.history
+
     @property
     def best_f1(self) -> float:
-        return max(r.f1 for r in self.history)
+        return max(r.f1 for r in self._require_history())
 
     @property
     def final_f1(self) -> float:
-        return self.history[-1].f1
+        return self._require_history()[-1].f1
 
     def f1_curve(self) -> list[float]:
         """F1 per epoch, starting with the zero-shot point."""
@@ -102,25 +118,40 @@ def evaluate_classifier(classifier: SequenceClassifier,
     return evaluate_predictions(encoded.labels, predictions)
 
 
+def _eval_info(epoch: int, metrics: MatchingMetrics, **extra) -> dict:
+    info = {"phase": "finetune", "epoch": epoch, "f1": metrics.f1,
+            "precision": metrics.precision, "recall": metrics.recall}
+    info.update(extra)
+    return info
+
+
 def fine_tune(pretrained: PretrainedModel, train: EMDataset,
               test: EMDataset, config: FineTuneConfig | None = None,
-              seed: int = 0, log=None) -> FineTuneResult:
+              seed: int = 0, log=None, callbacks=None) -> FineTuneResult:
     """Fine-tune ``pretrained`` on ``train``; evaluate on ``test`` after
-    every epoch (and once before training = zero-shot)."""
+    every epoch (and once before training = zero-shot).
+
+    ``callbacks`` takes :class:`repro.obs.Callback` instances (or a
+    sequence of them); ``log`` is the legacy print hook, kept as a shim.
+    """
     config = config or FineTuneConfig()
+    cb = CallbackList.resolve(callbacks, log)
     rng = child_rng(seed, "finetune", pretrained.arch, train.name)
     # Fine-tune a *copy* of the pre-trained weights so the cached zoo
     # checkpoint can be reused by other runs.
     from ..models import build_backbone
-    backbone = build_backbone(pretrained.config, rng)
-    backbone.special_token_ids = pretrained.tokenizer.vocab.special_ids()
-    backbone.load_state_dict(pretrained.backbone.state_dict())
-    classifier = SequenceClassifier(backbone, pretrained.config, rng)
-    max_length = choose_max_length(train, pretrained.tokenizer,
-                                   cap=min(config.max_length_cap,
-                                           pretrained.config.max_position))
-    encoded_train = encode_dataset(train, pretrained.tokenizer, max_length)
-    encoded_test = encode_dataset(test, pretrained.tokenizer, max_length)
+    with trace("setup", arch=pretrained.arch, dataset=train.name):
+        backbone = build_backbone(pretrained.config, rng)
+        backbone.special_token_ids = pretrained.tokenizer.vocab.special_ids()
+        backbone.load_state_dict(pretrained.backbone.state_dict())
+        classifier = SequenceClassifier(backbone, pretrained.config, rng)
+        max_length = choose_max_length(train, pretrained.tokenizer,
+                                       cap=min(config.max_length_cap,
+                                               pretrained.config.max_position))
+        encoded_train = encode_dataset(train, pretrained.tokenizer,
+                                       max_length)
+        encoded_test = encode_dataset(test, pretrained.tokenizer,
+                                      max_length)
 
     class_weights = None
     if config.balance_classes:
@@ -136,23 +167,36 @@ def fine_tune(pretrained: PretrainedModel, train: EMDataset,
         optimizer, config.learning_rate, total_steps=total_steps,
         warmup_steps=max(int(total_steps * config.warmup_fraction), 1))
 
+    if cb:
+        cb.on_train_begin({
+            "phase": "finetune", "arch": pretrained.arch,
+            "dataset": train.name, "epochs": config.epochs,
+            "batch_size": config.batch_size,
+            "steps_per_epoch": steps_per_epoch,
+            "train_size": len(encoded_train),
+            "test_size": len(encoded_test), "max_length": max_length,
+            "learning_rate": config.learning_rate})
+
     history: list[EpochRecord] = []
-    zero_shot = evaluate_classifier(classifier, encoded_test,
-                                    config.eval_batch_size)
+    with trace("eval", epoch=0):
+        zero_shot = evaluate_classifier(classifier, encoded_test,
+                                        config.eval_batch_size)
     history.append(EpochRecord(epoch=0, train_loss=float("nan"),
                                test_metrics=zero_shot, seconds=0.0))
-    if log is not None:
-        log(f"epoch 0 (zero-shot) F1 {zero_shot.f1 * 100:.1f}")
+    if cb:
+        cb.on_eval(_eval_info(0, zero_shot, zero_shot=True))
 
     n = len(encoded_train)
+    global_step = 0
     for epoch in range(1, config.epochs + 1):
         classifier.train()
         losses = []
-        with Timer() as timer:
+        with trace("epoch", epoch=epoch) as epoch_span:
             order = rng.permutation(n)
             starts = list(range(0, n - config.batch_size + 1,
                                 config.batch_size)) or [0]
             for start in starts:
+                step_t0 = time.perf_counter() if cb else 0.0
                 idx = order[start:start + config.batch_size]
                 batch = encoded_train.batch(idx)
                 optimizer.zero_grad()
@@ -163,19 +207,38 @@ def fine_tune(pretrained: PretrainedModel, train: EMDataset,
                 loss = cross_entropy(logits, batch.labels,
                                      class_weights=class_weights)
                 loss.backward()
-                clip_grad_norm(parameters, config.grad_clip)
+                grad_norm = clip_grad_norm(parameters, config.grad_clip)
+                lr = optimizer.lr
                 optimizer.step()
                 schedule.step()
                 losses.append(float(loss.data))
-        metrics = evaluate_classifier(classifier, encoded_test,
-                                      config.eval_batch_size)
+                if cb:
+                    seconds = time.perf_counter() - step_t0
+                    cb.on_step({
+                        "phase": "finetune", "step": global_step,
+                        "epoch": epoch, "loss": losses[-1], "lr": lr,
+                        "grad_norm": grad_norm, "seconds": seconds,
+                        "examples_per_sec": len(idx) / max(seconds, 1e-9)})
+                global_step += 1
+        with trace("eval", epoch=epoch):
+            metrics = evaluate_classifier(classifier, encoded_test,
+                                          config.eval_batch_size)
         record = EpochRecord(epoch=epoch,
                              train_loss=float(np.mean(losses)),
-                             test_metrics=metrics, seconds=timer.elapsed)
+                             test_metrics=metrics,
+                             seconds=epoch_span.wall)
         history.append(record)
-        if log is not None:
-            log(f"epoch {epoch} loss {record.train_loss:.3f} "
-                f"F1 {metrics.f1 * 100:.1f} ({timer.elapsed:.1f}s)")
+        if cb:
+            cb.on_eval(_eval_info(epoch, metrics))
+            cb.on_epoch_end({
+                "phase": "finetune", "epoch": epoch,
+                "train_loss": record.train_loss,
+                "seconds": record.seconds, "f1": metrics.f1})
 
-    return FineTuneResult(classifier=classifier, history=history,
-                          max_length=max_length)
+    result = FineTuneResult(classifier=classifier, history=history,
+                            max_length=max_length)
+    if cb:
+        cb.on_train_end({"phase": "finetune", "epochs": config.epochs,
+                         "best_f1": result.best_f1,
+                         "final_f1": result.final_f1})
+    return result

@@ -1,0 +1,42 @@
+"""Observability layer: metrics, tracing, telemetry events, profiling.
+
+The cross-cutting instrumentation substrate (see DESIGN.md §8):
+
+* :mod:`repro.obs.registry` — counters / gauges / streaming histograms;
+* :mod:`repro.obs.tracing` — nested wall-clock spans (absorbs the old
+  ``repro.utils.timer``; ``Timer``/``format_duration`` remain here as
+  backwards-compatible aliases);
+* :mod:`repro.obs.events` — JSONL event sinks with a stable schema,
+  bundled per run by :class:`TelemetryRun`;
+* :mod:`repro.obs.callbacks` — the training-loop ``Callback`` protocol
+  that replaced the ad-hoc ``log=`` argument;
+* :mod:`repro.obs.profiler` — op-level FLOP/byte profiler for
+  ``repro.nn``;
+* :mod:`repro.obs.report` — the ``repro telemetry`` report renderer.
+
+Disabled-by-default guarantee: with no callbacks registered and no sink
+attached, instrumented code paths cost one falsy check per step.
+"""
+
+from .tracing import (Span, Timer, Tracer, aggregate_spans, default_tracer,
+                      format_duration, trace)
+from .registry import (Counter, Gauge, Histogram, MetricsRegistry,
+                       default_registry)
+from .events import (EVENT_KINDS, SCHEMA_VERSION, EventSink, JsonlSink,
+                     MemorySink, NullSink, TelemetryRun, read_events,
+                     validate_event)
+from .callbacks import (Callback, CallbackList, LoggingCallback,
+                        TelemetryCallback)
+from .profiler import OpProfile, OpStats, profile
+from .report import load_report, render_report
+
+__all__ = [
+    "Span", "Tracer", "trace", "default_tracer", "aggregate_spans",
+    "Timer", "format_duration",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "default_registry",
+    "SCHEMA_VERSION", "EVENT_KINDS", "EventSink", "NullSink", "MemorySink",
+    "JsonlSink", "TelemetryRun", "read_events", "validate_event",
+    "Callback", "CallbackList", "LoggingCallback", "TelemetryCallback",
+    "OpProfile", "OpStats", "profile",
+    "render_report", "load_report",
+]

@@ -1,0 +1,170 @@
+"""Metrics registry: counters, gauges and streaming histograms.
+
+A :class:`MetricsRegistry` is a named bag of metrics; ``counter()`` /
+``gauge()`` / ``histogram()`` get-or-create, so instrumentation sites
+never need to coordinate setup.  A process-wide default registry backs
+code that doesn't carry one around explicitly.
+
+Histograms are *streaming*: they keep exact count/sum/min/max and a
+bounded sample buffer that is deterministically decimated (keep every
+second sample, double the stride) once full, so quantiles stay accurate
+to the buffer resolution with O(max_samples) memory no matter how many
+observations arrive.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "default_registry"]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"kind": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins scalar."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"kind": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming distribution with bounded memory.
+
+    ``observe()`` is O(1) amortised; ``quantile()`` sorts the retained
+    sample buffer (linear interpolation between order statistics).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "_samples", "_stride", "_seen", "_max_samples")
+
+    def __init__(self, name: str, max_samples: int = 2048):
+        if max_samples < 2:
+            raise ValueError("max_samples must be >= 2")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._samples: list[float] = []
+        self._stride = 1
+        self._seen = 0
+        self._max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        if self._seen % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) >= self._max_samples:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+        self._seen += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (exact until the buffer decimates)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    def snapshot(self) -> dict:
+        if not self.count:
+            return {"kind": "histogram", "count": 0}
+        return {"kind": "histogram", "count": self.count,
+                "mean": self.mean, "min": self.min, "max": self.max,
+                "p50": self.p50, "p95": self.p95}
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create accessors."""
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, max_samples: int = 2048) -> Histogram:
+        return self._get(name, Histogram, max_samples=max_samples)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, dict]:
+        """``{name: metric snapshot}`` for every registered metric."""
+        return {name: metric.snapshot()
+                for name, metric in sorted(self._metrics.items())}
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry."""
+    return _DEFAULT_REGISTRY

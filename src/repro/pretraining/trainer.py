@@ -24,6 +24,7 @@ without touching their (NSP-free) MLM/PLM recipes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,6 +33,7 @@ from ..models import build_backbone, build_pretraining_head
 from ..models.config import TransformerConfig
 from ..nn import (Adam, Linear, LinearSchedule, Module, clip_grad_norm,
                   cross_entropy)
+from ..obs import CallbackList, trace
 from ..tokenizers import SubwordTokenizer
 from .corpus import generate_labeled_documents
 from .mlm import IGNORE_INDEX, mask_tokens
@@ -110,8 +112,15 @@ def _encode_pairs(tokenizer: SubwordTokenizer, pairs, seq_len: int):
 
 def pretrain(config: TransformerConfig, tokenizer: SubwordTokenizer,
              recipe: PretrainRecipe, rng: np.random.Generator,
-             log=None) -> PretrainResult:
-    """Run the architecture-appropriate pre-training and return the model."""
+             log=None, callbacks=None) -> PretrainResult:
+    """Run the architecture-appropriate pre-training and return the model.
+
+    Progress is reported through the :mod:`repro.obs` callback protocol
+    (``train_begin`` → per-step ``step`` → ``train_end``); the legacy
+    ``log=`` print hook is shimmed onto a ``LoggingCallback`` (same
+    every-100-steps lines as before).
+    """
+    cb = CallbackList.resolve(callbacks, log)
     backbone = build_backbone(config, rng)
     backbone.special_token_ids = tokenizer.vocab.special_ids()
     head = build_pretraining_head(config, rng)
@@ -148,56 +157,78 @@ def pretrain(config: TransformerConfig, tokenizer: SubwordTokenizer,
     if not recipe.dynamic_masking and not recipe.permutation_lm:
         static_masked = mask_tokens(all_ids, tokenizer.vocab, rng)
 
+    if cb:
+        cb.on_train_begin({
+            "phase": "pretrain", "steps": recipe.steps,
+            "batch_size": recipe.batch_size, "seq_len": recipe.seq_len,
+            "num_examples": recipe.num_examples,
+            "learning_rate": recipe.learning_rate,
+            "permutation_lm": recipe.permutation_lm,
+            "dynamic_masking": recipe.dynamic_masking})
+
     history: list[float] = []
     n = all_ids.shape[0]
-    for step in range(recipe.steps):
-        batch_idx = rng.integers(0, n, size=recipe.batch_size)
-        ids = all_ids[batch_idx]
-        segments = all_segments[batch_idx]
-        pads = all_pads[batch_idx]
-        cls_index = int(all_cls[batch_idx][0])
+    with trace("pretrain", steps=recipe.steps):
+        for step in range(recipe.steps):
+            step_t0 = time.perf_counter() if cb else 0.0
+            batch_idx = rng.integers(0, n, size=recipe.batch_size)
+            ids = all_ids[batch_idx]
+            segments = all_segments[batch_idx]
+            pads = all_pads[batch_idx]
+            cls_index = int(all_cls[batch_idx][0])
 
-        optimizer.zero_grad()
-        if recipe.permutation_lm:
-            loss = _xlnet_step(backbone, head, coherence_head, tokenizer,
-                               recipe, rng, step, ids, segments, pads,
-                               all_next[batch_idx], cls_index)
-        else:
-            if recipe.dynamic_masking:
-                masked = mask_tokens(ids, tokenizer.vocab, rng)
-                masked_ids, targets = masked.input_ids, masked.targets
+            optimizer.zero_grad()
+            if recipe.permutation_lm:
+                loss = _xlnet_step(backbone, head, coherence_head,
+                                   tokenizer, recipe, rng, step, ids,
+                                   segments, pads, all_next[batch_idx],
+                                   cls_index)
             else:
-                masked_ids = static_masked.input_ids[batch_idx]
-                targets = static_masked.targets[batch_idx]
-            hidden = backbone(masked_ids, segment_ids=segments,
-                              pad_mask=pads)
-            logits = head.mlm_logits(hidden)
-            loss = cross_entropy(logits, targets,
-                                 ignore_index=IGNORE_INDEX)
-            if use_coherence:
-                pooled = backbone.pooled_output(hidden,
-                                                cls_index=cls_index)
-                if recipe.use_nsp:
-                    coherence_logits = head.nsp_logits(pooled)
+                if recipe.dynamic_masking:
+                    masked = mask_tokens(ids, tokenizer.vocab, rng)
+                    masked_ids, targets = masked.input_ids, masked.targets
                 else:
-                    coherence_logits = coherence_head(pooled)
-                loss = loss + recipe.coherence_weight * cross_entropy(
-                    coherence_logits, all_next[batch_idx])
+                    masked_ids = static_masked.input_ids[batch_idx]
+                    targets = static_masked.targets[batch_idx]
+                hidden = backbone(masked_ids, segment_ids=segments,
+                                  pad_mask=pads)
+                logits = head.mlm_logits(hidden)
+                loss = cross_entropy(logits, targets,
+                                     ignore_index=IGNORE_INDEX)
+                if use_coherence:
+                    pooled = backbone.pooled_output(hidden,
+                                                    cls_index=cls_index)
+                    if recipe.use_nsp:
+                        coherence_logits = head.nsp_logits(pooled)
+                    else:
+                        coherence_logits = coherence_head(pooled)
+                    loss = loss + recipe.coherence_weight * cross_entropy(
+                        coherence_logits, all_next[batch_idx])
 
-        loss.backward()
-        clip_grad_norm(parameters, recipe.grad_clip)
-        optimizer.step()
-        schedule.step()
-        history.append(float(loss.data))
-        if log is not None and (step + 1) % 100 == 0:
-            log(f"step {step + 1}/{recipe.steps} "
-                f"loss {np.mean(history[-100:]):.3f}")
+            loss.backward()
+            grad_norm = clip_grad_norm(parameters, recipe.grad_clip)
+            lr = optimizer.lr
+            optimizer.step()
+            schedule.step()
+            history.append(float(loss.data))
+            if cb:
+                seconds = time.perf_counter() - step_t0
+                cb.on_step({
+                    "phase": "pretrain", "step": step,
+                    "loss": history[-1], "lr": lr,
+                    "grad_norm": grad_norm, "seconds": seconds,
+                    "examples_per_sec":
+                        recipe.batch_size / max(seconds, 1e-9)})
 
     backbone.eval()
     head.eval()
-    return PretrainResult(backbone=backbone, head=head,
-                          loss_history=history,
-                          coherence_head=coherence_head)
+    result = PretrainResult(backbone=backbone, head=head,
+                            loss_history=history,
+                            coherence_head=coherence_head)
+    if cb:
+        cb.on_train_end({"phase": "pretrain", "steps": recipe.steps,
+                         "final_loss": result.final_loss})
+    return result
 
 
 def _xlnet_step(backbone, head, coherence_head, tokenizer, recipe, rng,

@@ -1,6 +1,13 @@
-"""Shared utilities: seeding, timing, caching and report rendering."""
+"""Shared utilities: seeding, caching and report rendering.
+
+``Timer`` / ``format_duration`` moved to :mod:`repro.obs` and are
+re-exported here for backwards compatibility.
+"""
 
 from .rng import child_rng, spawn_seeds
+# render must be imported before timer: timer pulls in repro.obs, whose
+# report module imports repro.utils.render while this package is still
+# initializing.
 from .render import format_table, format_series
 from .timer import Timer, format_duration
 

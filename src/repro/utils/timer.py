@@ -1,32 +1,14 @@
-"""Wall-clock timing helpers for the training-time experiments (Table 6)."""
+"""Deprecated location — timing helpers moved to :mod:`repro.obs`.
+
+``Timer`` and ``format_duration`` are kept importable from here (and from
+``repro.utils``) for backwards compatibility; new code should use
+``repro.obs.trace`` spans and ``repro.obs.format_duration``.
+"""
 
 from __future__ import annotations
 
-import time
+# Import from the submodule (not the obs package __init__) so this stays
+# safe regardless of which package starts the import cycle.
+from ..obs.tracing import Timer, format_duration
 
 __all__ = ["Timer", "format_duration"]
-
-
-class Timer:
-    """Context manager measuring elapsed wall-clock seconds."""
-
-    def __init__(self):
-        self.elapsed = 0.0
-
-    def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> bool:
-        self.elapsed = time.perf_counter() - self._start
-        return False
-
-
-def format_duration(seconds: float) -> str:
-    """Render seconds the way the paper's Table 6 does (e.g. '2m 42s')."""
-    if seconds < 1.0:
-        return f"{seconds * 1000:.0f}ms"
-    if seconds < 60.0:
-        return f"{seconds:.1f}s"
-    minutes, rem = divmod(seconds, 60.0)
-    return f"{int(minutes)}m {rem:.0f}s"

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.matching",
     "repro.baselines",
     "repro.evaluation",
+    "repro.obs",
     "repro.utils",
 ]
 

@@ -125,6 +125,16 @@ class TestFineTune:
         assert len(result.f1_curve()) == 3
         assert len(result.epoch_seconds()) == 2
 
+    def test_empty_history_f1_raises(self):
+        # Regression: best_f1/final_f1 used to fail with bare max()/
+        # IndexError on a result with no recorded epochs.
+        from repro.matching import FineTuneResult
+        empty = FineTuneResult(classifier=None)
+        with pytest.raises(ValueError, match="history is empty"):
+            empty.best_f1
+        with pytest.raises(ValueError, match="history is empty"):
+            empty.final_f1
+
     def test_finetune_does_not_mutate_pretrained(self, tiny_bert):
         splits = _tiny_dataset()
         before = {name: value.copy() for name, value

@@ -1,0 +1,432 @@
+"""Observability layer: registry math, spans, events, profiler, wiring."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.matching import FineTuneConfig, FineTuneResult, fine_tune
+from repro.nn import Tensor
+from repro.obs import (CallbackList, JsonlSink, LoggingCallback,
+                       MemorySink, MetricsRegistry, NullSink,
+                       TelemetryCallback, TelemetryRun, Tracer,
+                       aggregate_spans, default_tracer, load_report,
+                       profile, read_events, render_report, trace,
+                       validate_event)
+
+pytestmark = pytest.mark.obs
+
+
+class TestRegistry:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("steps").inc()
+        registry.counter("steps").inc(2)
+        registry.gauge("loss").set(0.25)
+        snap = registry.snapshot()
+        assert snap["steps"] == {"kind": "counter", "value": 3.0}
+        assert snap["loss"]["value"] == 0.25
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_histogram_quantiles_exact(self):
+        h = MetricsRegistry().histogram("latency")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.min == 1.0 and h.max == 100.0
+        assert abs(h.mean - 50.5) < 1e-9
+        assert abs(h.p50 - 50.5) < 1e-9
+        assert abs(h.quantile(0.95) - 95.05) < 1e-9
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_histogram_decimation_bounded_and_close(self):
+        h = MetricsRegistry().histogram("big", max_samples=128)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert h.count == 10_000
+        assert len(h._samples) <= 128
+        assert h.max == 9999.0
+        # Decimated quantiles stay within a few percent of truth.
+        assert abs(h.p50 - 5000.0) < 500.0
+        assert abs(h.p95 - 9500.0) < 500.0
+
+    def test_empty_histogram_snapshot(self):
+        h = MetricsRegistry().histogram("empty")
+        assert h.snapshot() == {"kind": "histogram", "count": 0}
+
+
+class TestTracing:
+    def test_span_nesting_and_exclusive_time(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            time.sleep(0.005)
+            with tracer.span("inner") as inner:
+                time.sleep(0.01)
+        assert [c.name for c in outer.children] == ["inner"]
+        assert outer.wall >= inner.wall
+        assert abs(outer.exclusive - (outer.wall - inner.wall)) < 1e-9
+        assert inner.exclusive == inner.wall
+
+    def test_walk_paths(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        walked = list(tracer.completed[0].walk())
+        assert [(s.name, d, p) for s, d, p in walked] == \
+            [("a", 0, "a"), ("b", 1, "a/b")]
+
+    def test_mark_and_since(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        mark = tracer.mark()
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.since(mark)] == ["second"]
+
+    def test_aggregate(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("epoch"):
+                with tracer.span("eval"):
+                    pass
+        stats = aggregate_spans(tracer.completed)
+        assert stats["epoch"]["count"] == 3
+        assert stats["eval"]["count"] == 3
+        assert stats["epoch"]["total"] >= stats["epoch"]["exclusive"]
+
+    def test_default_trace_helper(self):
+        mark = default_tracer().mark()
+        with trace("helper-span"):
+            pass
+        assert default_tracer().since(mark)[-1].name == "helper-span"
+
+    def test_timer_alias_still_importable(self):
+        from repro.obs import Timer as ObsTimer
+        from repro.utils import Timer as UtilsTimer
+        assert ObsTimer is UtilsTimer
+        with UtilsTimer() as t:
+            time.sleep(0.002)
+        assert t.elapsed > 0
+
+
+class TestEvents:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        run = TelemetryRun(JsonlSink(path), run_id="test-run")
+        run.emit("run_begin", command="test")
+        with run.span("phase"):
+            pass
+        run.registry.counter("train.steps").inc(5)
+        run.emit("step", step=0, loss=0.5, lr=1e-3)
+        run.close()
+
+        events = read_events(path)
+        for event in events:
+            validate_event(event)
+        kinds = [e["kind"] for e in events]
+        assert kinds[0] == "run_begin"
+        assert kinds[-1] == "run_end"
+        assert "span" in kinds and "metric" in kinds and "step" in kinds
+        assert [e["seq"] for e in events] == list(range(len(events)))
+        assert all(e["run_id"] == "test-run" for e in events)
+
+    def test_close_is_idempotent(self, tmp_path):
+        run = TelemetryRun(JsonlSink(tmp_path / "r.jsonl"), run_id="r")
+        run.close()
+        run.close()
+        assert len(read_events(tmp_path / "r.jsonl")) == 1  # run_end only
+
+    def test_validate_rejects_bad_events(self):
+        good = {"run_id": "r", "ts": 1.0, "seq": 0, "kind": "step",
+                "payload": {"step": 0, "loss": 0.1}}
+        validate_event(good)
+        with pytest.raises(ValueError):
+            validate_event({**good, "kind": "nope"})
+        with pytest.raises(ValueError):
+            validate_event({**good, "payload": {"step": 0}})  # no loss
+        with pytest.raises(ValueError):
+            validate_event({k: v for k, v in good.items() if k != "ts"})
+        with pytest.raises(ValueError):
+            validate_event("not a dict")
+
+    def test_emit_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            TelemetryRun(NullSink()).emit("bogus")
+
+    def test_null_sink_drops_everything(self):
+        run = TelemetryRun(NullSink(), run_id="quiet")
+        run.emit("run_begin")
+        run.close()  # no error, nothing persisted
+
+
+class TestProfiler:
+    def test_matmul_flops_exact(self):
+        with profile() as prof:
+            a = Tensor(np.ones((4, 5)), requires_grad=True)
+            b = Tensor(np.ones((5, 3)))
+            c = a @ b
+        assert prof.ops["matmul"].calls == 1
+        assert prof.ops["matmul"].flops == 2 * 4 * 5 * 3
+        assert prof.ops["matmul"].bytes == c.data.nbytes
+
+    def test_backward_estimate_is_twice_forward(self):
+        with profile() as prof:
+            a = Tensor(np.ones((4, 5)), requires_grad=True)
+            loss = (a @ Tensor(np.ones((5, 3)))).sum()
+            forward = prof.total_flops
+            loss.backward()
+        assert prof.ops["backward"].calls == 1
+        assert prof.ops["backward"].flops == pytest.approx(2 * forward)
+
+    def test_op_kinds_normalized(self):
+        with profile() as prof:
+            a = Tensor(np.ones(8), requires_grad=True)
+            _ = (1.0 + a) * 2.0 - a
+            _ = a.softmax()
+        assert "add" in prof.ops and "mul" in prof.ops
+        assert "softmax" in prof.ops
+        assert not any(k.startswith("__") for k in prof.ops)
+
+    def test_hooks_restored_after_exit(self):
+        original_make = Tensor._make
+        original_backward = Tensor.backward
+        with profile():
+            assert Tensor._make is not original_make
+        assert Tensor._make is original_make
+        assert Tensor.backward is original_backward
+
+    def test_hooks_restored_on_error(self):
+        original_make = Tensor._make
+        with pytest.raises(RuntimeError, match="boom"):
+            with profile():
+                raise RuntimeError("boom")
+        assert Tensor._make is original_make
+
+    def test_nesting_rejected(self):
+        with profile():
+            with pytest.raises(RuntimeError, match="nested"):
+                with profile():
+                    pass
+
+    def test_table_renders(self):
+        with profile() as prof:
+            _ = Tensor(np.ones((2, 2))) @ Tensor(np.ones((2, 2)))
+        table = prof.table()
+        assert "matmul" in table and "MFLOPs" in table
+
+
+class TestCallbacks:
+    def test_resolve_shims_legacy_log(self):
+        lines = []
+        cb = CallbackList.resolve(None, lines.append)
+        assert len(cb) == 1 and bool(cb)
+        assert isinstance(cb.callbacks[0], LoggingCallback)
+        assert not CallbackList.resolve(None, None)
+
+    def test_logging_callback_finetune_format(self):
+        lines = []
+        cb = LoggingCallback(lines.append)
+        cb.on_eval({"phase": "finetune", "epoch": 0, "f1": 0.412,
+                    "zero_shot": True})
+        cb.on_epoch_end({"phase": "finetune", "epoch": 1,
+                         "train_loss": 0.512, "f1": 0.871,
+                         "seconds": 2.34})
+        assert lines == ["epoch 0 (zero-shot) F1 41.2",
+                         "epoch 1 loss 0.512 F1 87.1 (2.3s)"]
+
+    def test_logging_callback_pretrain_format(self):
+        lines = []
+        cb = LoggingCallback(lines.append, every=2)
+        cb.on_train_begin({"phase": "pretrain", "steps": 4})
+        for step in range(4):
+            cb.on_step({"phase": "pretrain", "step": step,
+                        "loss": float(step)})
+        assert lines == ["step 2/4 loss 0.500", "step 4/4 loss 2.500"]
+
+
+def _tiny_splits(scale=0.04):
+    from repro.data import load_benchmark, split_dataset
+    from repro.utils import child_rng
+    data = load_benchmark("dblp-acm", seed=7, scale=scale)
+    return split_dataset(data, child_rng(7, "split", "dblp-acm"))
+
+
+class TestFineTuneIntegration:
+    def test_event_sequence(self, tiny_bert):
+        splits = _tiny_splits()
+        sink = MemorySink()
+        run = TelemetryRun(sink, run_id="itest")
+        config = FineTuneConfig(epochs=2, batch_size=8)
+        result = fine_tune(tiny_bert, splits.train, splits.test,
+                           config=config, seed=0,
+                           callbacks=[TelemetryCallback(run)])
+        run.close()
+
+        events = sink.events
+        for event in events:
+            validate_event(event)
+        kinds = [e["kind"] for e in events]
+        # Expected shape: train_begin, zero-shot eval, then per epoch
+        # N steps + eval + epoch_end, then train_end (+ spans/metrics
+        # from close()).
+        assert kinds[0] == "train_begin"
+        begin = events[0]["payload"]
+        assert begin["phase"] == "finetune"
+        steps_per_epoch = begin["steps_per_epoch"]
+
+        assert kinds[1] == "eval"
+        assert events[1]["payload"]["epoch"] == 0
+        assert events[1]["payload"]["zero_shot"] is True
+
+        evals = [e["payload"] for e in events if e["kind"] == "eval"]
+        assert [p["epoch"] for p in evals] == [0, 1, 2]
+        epoch_ends = [e["payload"] for e in events
+                      if e["kind"] == "epoch_end"]
+        assert [p["epoch"] for p in epoch_ends] == [1, 2]
+        steps = [e["payload"] for e in events if e["kind"] == "step"]
+        assert len(steps) == 2 * steps_per_epoch
+        assert all({"loss", "lr", "grad_norm",
+                    "examples_per_sec"} <= p.keys() for p in steps)
+        assert kinds.index("train_end") > kinds.index("epoch_end")
+        # close() drained spans: epoch and eval spans must be present.
+        span_names = {e["payload"]["name"] for e in events
+                      if e["kind"] == "span"}
+        assert {"epoch", "eval", "setup"} <= span_names
+        # Registry metrics fed by TelemetryCallback arrived too.
+        metric_names = {e["payload"]["name"] for e in events
+                        if e["kind"] == "metric"}
+        assert "train.steps" in metric_names
+        # And the result still matches the events.
+        assert result.final_f1 == pytest.approx(evals[-1]["f1"])
+
+    def test_legacy_log_shim_unchanged_lines(self, tiny_bert):
+        splits = _tiny_splits()
+        lines = []
+        fine_tune(tiny_bert, splits.train, splits.test,
+                  config=FineTuneConfig(epochs=1, batch_size=8),
+                  seed=0, log=lines.append)
+        assert lines[0].startswith("epoch 0 (zero-shot) F1 ")
+        assert lines[1].startswith("epoch 1 loss ")
+        assert lines[1].endswith("s)")
+
+    def test_report_renders_from_run(self, tiny_bert, tmp_path):
+        splits = _tiny_splits()
+        path = tmp_path / "ft.jsonl"
+        run = TelemetryRun(JsonlSink(path), run_id="report-test")
+        run.emit("run_begin", command="test")
+        with profile() as prof:
+            fine_tune(tiny_bert, splits.train, splits.test,
+                      config=FineTuneConfig(epochs=1, batch_size=8),
+                      seed=0, callbacks=[TelemetryCallback(run)])
+        run.emit("profile", ops=prof.as_dict())
+        run.close()
+        report = load_report(path)
+        assert "slowest spans" in report
+        assert "op profile" in report and "matmul" in report
+        assert "F1 by epoch" in report
+        assert "throughput" in report
+
+
+class TestFineTuneResultGuards:
+    def test_empty_history_raises_value_error(self):
+        result = FineTuneResult(classifier=None)
+        with pytest.raises(ValueError, match="history is empty"):
+            result.best_f1
+        with pytest.raises(ValueError, match="history is empty"):
+            result.final_f1
+        assert result.f1_curve() == []
+
+
+class TestPretrainEvents:
+    def test_pretrain_emits_steps(self, tiny_settings):
+        from repro.models import default_config
+        from repro.pretraining import PretrainRecipe, pretrain
+        from repro.pretraining.model_zoo import _train_tokenizer
+        from repro.utils import child_rng
+        tokenizer = _train_tokenizer("bert", tiny_settings, seed=0)
+        config = default_config(
+            "bert", vocab_size=len(tokenizer.vocab),
+            d_model=tiny_settings.d_model,
+            num_layers=tiny_settings.num_layers,
+            num_heads=tiny_settings.num_heads,
+            max_position=tiny_settings.max_position)
+        recipe = PretrainRecipe(steps=4, batch_size=4, seq_len=24,
+                                num_examples=40, num_documents=20,
+                                use_nsp=True)
+        sink = MemorySink()
+        run = TelemetryRun(sink, run_id="pretrain-test")
+        pretrain(config, tokenizer, recipe, child_rng(0, "pt"),
+                 callbacks=[TelemetryCallback(run)])
+        run.close()
+        kinds = [e["kind"] for e in sink.events]
+        assert kinds[0] == "train_begin"
+        assert sink.events[0]["payload"]["phase"] == "pretrain"
+        assert kinds.count("step") == 4
+        assert "train_end" in kinds
+        for event in sink.events:
+            validate_event(event)
+
+
+class TestTelemetrySmoke:
+    """The CI smoke check: `repro match --telemetry` end to end."""
+
+    def test_cli_match_telemetry_smoke(self, tmp_path, capsys):
+        jsonl = tmp_path / "run.jsonl"
+        rc = main(["match", "bert", "itunes-amazon",
+                   "--scale", "0.1", "--epochs", "1", "--smoke",
+                   "--zoo-dir", str(tmp_path / "zoo"),
+                   "--telemetry", str(jsonl)])
+        assert rc == 0
+        assert "telemetry written to" in capsys.readouterr().out
+        events = read_events(jsonl)
+        for event in events:
+            validate_event(event)
+        kinds = {e["kind"] for e in events}
+        assert {"run_begin", "train_begin", "step", "eval", "epoch_end",
+                "train_end", "span", "run_end"} <= kinds
+        # And the CLI report subcommand renders it.
+        assert main(["telemetry", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry report" in out
+        assert "slowest spans" in out
+
+    def test_report_of_empty_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["telemetry", str(path)]) == 0
+        assert "no events" in capsys.readouterr().out
+
+
+class TestBenchSidecar:
+    def test_emit_writes_telemetry_sidecar(self, tmp_path, monkeypatch,
+                                           capsys):
+        import importlib.util
+        spec = importlib.util.spec_from_file_location(
+            "bench_shared", "benchmarks/_shared.py")
+        shared = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(shared)
+        monkeypatch.setattr(shared, "OUT_DIR", tmp_path)
+        with trace("bench-phase"):
+            pass
+        shared.emit("smoke", "hello")
+        assert (tmp_path / "smoke.txt").read_text() == "hello\n"
+        events = read_events(tmp_path / "smoke.telemetry.jsonl")
+        for event in events:
+            validate_event(event)
+        assert events[0]["kind"] == "run_begin"
+        names = {e["payload"].get("name") for e in events
+                 if e["kind"] == "span"}
+        assert "bench-phase" in names
