@@ -1,0 +1,577 @@
+"""AST linter with repo-specific rules for the numpy autodiff substrate.
+
+The engine is deliberately small: a rule is an object with an ``id``, a
+``name``, a fix ``hint`` and a ``check(module)`` generator yielding
+:class:`Violation` records.  Rules see a :class:`SourceModule` — the
+parsed AST plus enough path context to know which package the file
+belongs to (several rules only apply outside ``repro.nn``, or only to
+modules that import it).
+
+The rule catalog (DESIGN.md §9 documents each with its rationale):
+
+====== ============================== ==========================================
+id     name                           catches
+====== ============================== ==========================================
+RA101  tensor-data-numpy-call         ``np.*`` called on ``Tensor.data`` outside
+                                      ``repro.nn`` (bypasses the tape)
+RA102  hard-coded-float-dtype         ``np.float32``/``np.float64``/... literals
+                                      instead of the canonical ``repro.nn.DTYPE``
+RA103  loop-closure-late-binding      closures in loops capturing the loop
+                                      variable without default-arg binding
+RA104  inference-missing-no-grad      predict/infer functions that record a tape
+RA105  unregistered-parameter-tensor  ``self.x = Tensor(..., requires_grad=True)``
+                                      inside a Module (bypasses registration)
+RA106  mutable-default-argument       list/dict/set default arguments
+RA107  all-export-drift               ``__all__`` out of sync with definitions
+RA108  legacy-global-rng              ``np.random.<fn>`` global-state calls
+====== ============================== ==========================================
+
+Usage::
+
+    from repro.analysis import lint_paths, format_text
+    violations = lint_paths(["src"])
+    print(format_text(violations))
+
+or ``repro lint src/ [--format json]`` from the command line.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["Violation", "LintRule", "SourceModule", "available_rules",
+           "lint_paths", "lint_source", "format_text", "format_json"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit, pointing at ``path:line``."""
+
+    rule: str
+    name: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str | None = None
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+
+@dataclass
+class SourceModule:
+    """A parsed source file plus the path context rules need."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: Dotted package guess ("repro.nn.tensor") derived from the path;
+    #: empty for files outside a recognizable package root.
+    package: str = ""
+    _nn_import: bool | None = field(default=None, repr=False)
+
+    @classmethod
+    def parse(cls, path: str, source: str,
+              package: str | None = None) -> "SourceModule":
+        tree = ast.parse(source, filename=path)
+        if package is None:
+            package = _guess_package(path)
+        return cls(path=path, source=source, tree=tree, package=package)
+
+    def in_package(self, prefix: str) -> bool:
+        return (self.package == prefix
+                or self.package.startswith(prefix + "."))
+
+    def imports_nn(self) -> bool:
+        """Whether this module imports from ``repro.nn`` (any depth)."""
+        if self._nn_import is None:
+            self._nn_import = any(
+                target == "repro.nn" or target.startswith("repro.nn.")
+                for target in self._import_targets())
+        return self._nn_import
+
+    def _import_targets(self) -> Iterator[str]:
+        parts = self.package.split(".") if self.package else []
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    yield alias.name
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0:
+                    yield node.module or ""
+                elif parts:
+                    # Resolve "from ..nn import x" against our package.
+                    base = parts[: len(parts) - node.level]
+                    yield ".".join(base + ([node.module]
+                                           if node.module else []))
+
+
+def _guess_package(path: str) -> str:
+    parts = Path(path).with_suffix("").parts
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        return ""
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _is_np_attribute(node: ast.AST, *attrs: str) -> bool:
+    """Match ``np.<attr>`` / ``numpy.<attr>`` attribute chains."""
+    return (isinstance(node, ast.Attribute)
+            and node.attr in attrs
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("np", "numpy"))
+
+
+class LintRule:
+    """Base class: subclasses set ``id``/``name``/``hint`` and ``check``."""
+
+    id: str = ""
+    name: str = ""
+    hint: str = ""
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, module: SourceModule, node: ast.AST,
+                  message: str) -> Violation:
+        return Violation(rule=self.id, name=self.name, path=module.path,
+                         line=getattr(node, "lineno", 0),
+                         col=getattr(node, "col_offset", 0),
+                         message=message, hint=self.hint or None)
+
+
+class _TensorDataNumpyCall(LintRule):
+    """Raw numpy calls on ``.data`` outside ``repro.nn`` bypass the tape:
+    gradients silently stop flowing through the result."""
+
+    id = "RA101"
+    name = "tensor-data-numpy-call"
+    hint = ("use a Tensor op (or .detach()/.numpy() if gradients are "
+            "intentionally cut), or move the kernel into repro.nn")
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if module.in_package("repro.nn"):
+            return
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in ("np", "numpy")):
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if any(isinstance(sub, ast.Attribute) and sub.attr == "data"
+                       for sub in ast.walk(arg)):
+                    yield self.violation(
+                        module, node,
+                        f"np.{node.func.attr}() applied to a .data payload "
+                        f"outside repro.nn — the result leaves the autodiff "
+                        f"tape")
+                    break
+
+
+class _HardCodedFloatDtype(LintRule):
+    """Float dtypes must route through ``repro.nn.DTYPE`` so the whole
+    stack trains in one precision (the canonical definition lives in
+    ``repro.nn.init``)."""
+
+    id = "RA102"
+    name = "hard-coded-float-dtype"
+    hint = "import DTYPE from repro.nn (defined once in repro.nn.init)"
+
+    _DTYPES = ("float16", "float32", "float64", "float128")
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if module.package == "repro.nn.init":
+            return
+        for node in ast.walk(module.tree):
+            if _is_np_attribute(node, *self._DTYPES):
+                yield self.violation(
+                    module, node,
+                    f"hard-coded np.{node.attr} — use repro.nn.DTYPE so "
+                    f"precision is set in exactly one place")
+            elif (isinstance(node, ast.keyword) and node.arg == "dtype"
+                  and isinstance(node.value, ast.Constant)
+                  and node.value.value in self._DTYPES):
+                yield self.violation(
+                    module, node.value,
+                    f'hard-coded dtype="{node.value.value}" — use '
+                    f"repro.nn.DTYPE so precision is set in exactly one "
+                    f"place")
+
+
+class _LoopClosureLateBinding(LintRule):
+    """A closure defined inside a loop that reads the loop variable sees
+    its *final* value when called later — the classic tape bug for
+    ``_backward`` closures, which run long after the loop finished."""
+
+    id = "RA103"
+    name = "loop-closure-late-binding"
+    hint = "bind the loop variable as a default argument (def f(x, v=v):)"
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        yield from self._scan(module, module.tree, loop_vars=())
+
+    def _scan(self, module: SourceModule, node: ast.AST,
+              loop_vars: tuple[frozenset, ...]) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.For):
+                names = frozenset(
+                    n.id for n in ast.walk(child.target)
+                    if isinstance(n, ast.Name))
+                yield from self._scan(module, child, loop_vars + (names,))
+            elif isinstance(child, ast.While):
+                yield from self._scan(module, child, loop_vars)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.Lambda)):
+                if loop_vars:
+                    yield from self._check_closure(module, child, loop_vars)
+                # Nested defs start a fresh loop context.
+                yield from self._scan(module, child, loop_vars=())
+            else:
+                yield from self._scan(module, child, loop_vars)
+
+    def _check_closure(self, module: SourceModule, func,
+                       loop_vars: tuple[frozenset, ...]
+                       ) -> Iterator[Violation]:
+        active = frozenset().union(*loop_vars)
+        args = func.args
+        bound = {a.arg for a in
+                 args.args + args.kwonlyargs + args.posonlyargs}
+        if args.vararg:
+            bound.add(args.vararg.arg)
+        if args.kwarg:
+            bound.add(args.kwarg.arg)
+        body = func.body if isinstance(func.body, list) else [func.body]
+        free: set[str] = set()
+        assigned: set[str] = set()
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Name):
+                    if isinstance(sub.ctx, ast.Load):
+                        free.add(sub.id)
+                    else:
+                        assigned.add(sub.id)
+        hazard = sorted((active & free) - bound - assigned)
+        if hazard:
+            label = getattr(func, "name", "<lambda>")
+            yield self.violation(
+                module, func,
+                f"closure {label!r} captures loop variable(s) "
+                f"{', '.join(hazard)} without default-arg binding — it "
+                f"will see the final loop value when called later "
+                f"(late binding)")
+
+
+class _InferenceMissingNoGrad(LintRule):
+    """Inference entry points must run under ``no_grad`` or every forward
+    pass records a backward tape it never frees."""
+
+    id = "RA104"
+    name = "inference-missing-no-grad"
+    hint = "wrap the forward passes in `with no_grad():` or decorate " \
+           "with @no_grad()"
+
+    _PATTERN = re.compile(r"predict|proba|infer", re.IGNORECASE)
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if not module.imports_nn() or module.in_package("repro.nn"):
+            return
+        candidates: dict[str, ast.FunctionDef] = {}
+        for node in ast.walk(module.tree):
+            if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and self._PATTERN.search(node.name)
+                    and not node.name.startswith("__")):
+                candidates[node.name] = node
+        safe = set()
+        for name, node in candidates.items():
+            if self._uses_no_grad(node):
+                safe.add(name)
+        # Delegation closure: predict() calling _proba() is fine if
+        # _proba() itself runs under no_grad.
+        changed = True
+        while changed:
+            changed = False
+            for name, node in candidates.items():
+                if name in safe:
+                    continue
+                if any(callee in safe
+                       for callee in self._called_names(node)):
+                    safe.add(name)
+                    changed = True
+        for name, node in candidates.items():
+            if name not in safe:
+                yield self.violation(
+                    module, node,
+                    f"{name}() looks like an inference path but never "
+                    f"disables the tape — every call records backward "
+                    f"closures that are never freed")
+
+    @staticmethod
+    def _uses_no_grad(func: ast.AST) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Name) and node.id == "no_grad":
+                return True
+            if isinstance(node, ast.Attribute) and node.attr == "no_grad":
+                return True
+        return False
+
+    @staticmethod
+    def _called_names(func: ast.AST) -> set[str]:
+        names = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Name):
+                    names.add(node.func.id)
+                elif isinstance(node.func, ast.Attribute):
+                    names.add(node.func.attr)
+        return names
+
+
+class _UnregisteredParameterTensor(LintRule):
+    """A bare ``Tensor(..., requires_grad=True)`` attribute on a Module
+    is invisible to ``parameters()``: the optimizer never updates it and
+    ``state_dict()`` never saves it."""
+
+    id = "RA105"
+    name = "unregistered-parameter-tensor"
+    hint = "use Parameter(...) so the module tree registers the leaf"
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        module_classes = self._module_classes(module.tree)
+        for cls in module_classes:
+            for node in ast.walk(cls):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not any(
+                        isinstance(t, ast.Attribute)
+                        and isinstance(t.value, ast.Name)
+                        and t.value.id == "self"
+                        for t in node.targets):
+                    continue
+                call = node.value
+                if (isinstance(call, ast.Call)
+                        and (isinstance(call.func, ast.Name)
+                             and call.func.id == "Tensor"
+                             or isinstance(call.func, ast.Attribute)
+                             and call.func.attr == "Tensor")
+                        and any(kw.arg == "requires_grad"
+                                and isinstance(kw.value, ast.Constant)
+                                and kw.value.value is True
+                                for kw in call.keywords)):
+                    yield self.violation(
+                        module, node,
+                        f"Module {cls.name!r} stores a bare "
+                        f"requires_grad Tensor — it bypasses parameter "
+                        f"registration, so optimizers and checkpoints "
+                        f"miss it")
+
+    @staticmethod
+    def _module_classes(tree: ast.Module) -> list[ast.ClassDef]:
+        classes = {n.name: n for n in ast.walk(tree)
+                   if isinstance(n, ast.ClassDef)}
+        bases = {name: [getattr(b, "id", getattr(b, "attr", None))
+                        for b in cls.bases]
+                 for name, cls in classes.items()}
+        module_like = {"Module", "ModuleList"}
+        changed = True
+        while changed:
+            changed = False
+            for name, base_names in bases.items():
+                if name in module_like:
+                    continue
+                if any(b in module_like for b in base_names):
+                    module_like.add(name)
+                    changed = True
+        return [cls for name, cls in classes.items()
+                if name in module_like and name not in ("Module",
+                                                        "ModuleList")]
+
+
+class _MutableDefaultArgument(LintRule):
+    """Mutable default arguments are shared across calls."""
+
+    id = "RA106"
+    name = "mutable-default-argument"
+    hint = "default to None and create the value inside the function"
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = (list(node.args.defaults)
+                        + [d for d in node.args.kw_defaults if d])
+            for default in defaults:
+                if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                    kind = type(default).__name__.lower()
+                    yield self.violation(
+                        module, default,
+                        f"{node.name}() has a mutable {kind} default — "
+                        f"it is shared across every call")
+                elif (isinstance(default, ast.Call)
+                      and isinstance(default.func, ast.Name)
+                      and default.func.id in ("list", "dict", "set")):
+                    yield self.violation(
+                        module, default,
+                        f"{node.name}() has a mutable "
+                        f"{default.func.id}() default — it is shared "
+                        f"across every call")
+
+
+class _AllExportDrift(LintRule):
+    """``__all__`` must match the module: stale names break
+    ``from m import *`` and the API-surface tests; unlisted public
+    definitions silently fall out of the documented API."""
+
+    id = "RA107"
+    name = "all-export-drift"
+    hint = "add the name to __all__, or prefix it with _ if internal"
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        exported: list[str] | None = None
+        export_node: ast.AST | None = None
+        defined: set[str] = set()
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        defined.add(target.id)
+                        if target.id == "__all__":
+                            export_node = node
+                            try:
+                                value = ast.literal_eval(node.value)
+                                exported = [str(v) for v in value]
+                            except (ValueError, SyntaxError):
+                                exported = None
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    defined.add(node.target.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                defined.add(node.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    defined.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    defined.add(alias.asname or alias.name)
+        if exported is None:
+            return
+        for name in exported:
+            if name not in defined:
+                yield self.violation(
+                    module, export_node,
+                    f"__all__ lists {name!r} but the module never "
+                    f"defines or imports it")
+        for node in module.tree.body:
+            if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef))
+                    and not node.name.startswith("_")
+                    and node.name not in exported):
+                yield self.violation(
+                    module, node,
+                    f"public {node.name!r} is not listed in __all__")
+
+
+class _LegacyGlobalRng(LintRule):
+    """Everything in this repo is reproducible from explicit
+    ``np.random.Generator`` seeds; the legacy global-state API breaks
+    that guarantee."""
+
+    id = "RA108"
+    name = "legacy-global-rng"
+    hint = "thread an explicit np.random.Generator (see repro.utils." \
+           "child_rng)"
+
+    _ALLOWED = ("default_rng", "Generator", "SeedSequence", "BitGenerator",
+                "PCG64")
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            target = node.func.value
+            if (isinstance(target, ast.Attribute)
+                    and target.attr == "random"
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in ("np", "numpy")
+                    and node.func.attr not in self._ALLOWED):
+                yield self.violation(
+                    module, node,
+                    f"np.random.{node.func.attr}() uses the global RNG "
+                    f"state — runs are no longer reproducible from a "
+                    f"seed")
+
+
+_RULES: tuple[LintRule, ...] = (
+    _TensorDataNumpyCall(),
+    _HardCodedFloatDtype(),
+    _LoopClosureLateBinding(),
+    _InferenceMissingNoGrad(),
+    _UnregisteredParameterTensor(),
+    _MutableDefaultArgument(),
+    _AllExportDrift(),
+    _LegacyGlobalRng(),
+)
+
+
+def available_rules() -> list[LintRule]:
+    """The registered rule instances, in catalog order."""
+    return list(_RULES)
+
+
+def lint_source(source: str, path: str = "<string>",
+                package: str | None = None,
+                rules: list[LintRule] | None = None) -> list[Violation]:
+    """Lint one source string (used by the rule unit tests)."""
+    module = SourceModule.parse(path, source, package=package)
+    found: list[Violation] = []
+    for rule in rules if rules is not None else _RULES:
+        found.extend(rule.check(module))
+    return sorted(found, key=lambda v: (v.path, v.line, v.rule))
+
+
+def lint_paths(paths: list[str | Path],
+               rules: list[LintRule] | None = None) -> list[Violation]:
+    """Lint every ``*.py`` file under the given files/directories."""
+    files: list[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    found: list[Violation] = []
+    for file in files:
+        found.extend(lint_source(file.read_text(), path=str(file),
+                                 rules=rules))
+    return sorted(found, key=lambda v: (v.path, v.line, v.rule))
+
+
+def format_text(violations: list[Violation]) -> str:
+    """Human-readable report, one violation per block."""
+    if not violations:
+        return "clean: no violations"
+    lines = []
+    for v in violations:
+        lines.append(f"{v.location()}: {v.rule} [{v.name}] {v.message}")
+        if v.hint:
+            lines.append(f"    hint: {v.hint}")
+    lines.append(f"{len(violations)} violation"
+                 f"{'s' if len(violations) != 1 else ''}")
+    return "\n".join(lines)
+
+
+def format_json(violations: list[Violation]) -> str:
+    """Machine-readable report (stable keys, sorted order)."""
+    return json.dumps({"violations": [asdict(v) for v in violations],
+                       "count": len(violations)}, indent=2)

@@ -15,11 +15,12 @@ from collections import Counter
 
 import numpy as np
 
+from ...nn import DTYPE
 from ...tokenizers import basic_pretokenize, normalize_text
 from ...utils import child_rng
 from ..deepmatcher.vocab import WordVocab
 
-__all__ = ["train_sgns", "WordEmbeddings"]
+__all__ = ["train_sgns", "WordEmbeddings", "get_word_embeddings"]
 
 
 class WordEmbeddings:
@@ -38,14 +39,14 @@ class WordEmbeddings:
         if vector is not None:
             return vector
         if rng is None:
-            return np.zeros(self.dim, dtype=np.float32)
-        return rng.normal(0, 0.1, self.dim).astype(np.float32)
+            return np.zeros(self.dim, dtype=DTYPE)
+        return rng.normal(0, 0.1, self.dim).astype(DTYPE)
 
     def build_matrix(self, vocab: WordVocab,
                      rng: np.random.Generator) -> np.ndarray:
         """Embedding matrix aligned to a :class:`WordVocab`."""
         matrix = rng.normal(0, 0.1, (len(vocab), self.dim)).astype(
-            np.float32)
+            DTYPE)
         for word, idx in vocab._token_to_id.items():
             if word in self.vectors:
                 matrix[idx] = self.vectors[word]
@@ -120,7 +121,7 @@ def train_sgns(corpus: list[str], dim: int = 48, window: int = 2,
             np.add.at(w_out, o, -lr * (g_pos * v_c))
             np.add.at(w_out, neg.reshape(-1),
                       -lr * (g_neg * v_c[:, None, :]).reshape(-1, dim))
-    vectors = {w: w_in[i].astype(np.float32) for w, i in word_to_id.items()}
+    vectors = {w: w_in[i].astype(DTYPE) for w, i in word_to_id.items()}
     return WordEmbeddings(vectors, dim)
 
 

@@ -18,6 +18,10 @@ Commands
 ``telemetry``
     Render a report (spans, op-FLOP table, loss/F1 curves) from a
     telemetry JSONL file produced by ``match --telemetry``.
+``lint``
+    Run the repo-specific static analysis rules over source paths.
+``audit``
+    Report gradcheck/test coverage of Tensor ops and Module subclasses.
 """
 
 from __future__ import annotations
@@ -83,6 +87,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("telemetry",
                        help="render a report from a telemetry JSONL file")
     p.add_argument("jsonl", help="path to a run's .jsonl event stream")
+
+    p = sub.add_parser("lint", help="run the autodiff-aware linter")
+    p.add_argument("paths", nargs="+",
+                   help="files or directories to lint (e.g. src/)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--rules", default=None,
+                   help="comma-separated rule ids to run (e.g. "
+                        "RA101,RA102); default: all")
+
+    p = sub.add_parser("audit",
+                       help="report test coverage of Tensor ops and "
+                            "Module subclasses")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--tests", default="tests",
+                   help="test-suite directory to cross-reference")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero if any op or module is uncovered")
 
     return parser
 
@@ -185,6 +206,33 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import available_rules, format_json, format_text, \
+        lint_paths
+    rules = None
+    if args.rules:
+        wanted = {r.strip().upper() for r in args.rules.split(",")}
+        rules = [r for r in available_rules() if r.id in wanted]
+        unknown = wanted - {r.id for r in rules}
+        if unknown:
+            print(f"error: unknown rule id(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+    violations = lint_paths(args.paths, rules=rules)
+    renderer = format_json if args.format == "json" else format_text
+    print(renderer(violations))
+    return 1 if violations else 0
+
+
+def _cmd_audit(args) -> int:
+    from .analysis import audit_coverage
+    report = audit_coverage(tests_root=args.tests)
+    print(report.as_json() if args.format == "json" else report.as_text())
+    if args.strict and not report.is_complete():
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "generate": _cmd_generate,
@@ -193,6 +241,8 @@ _COMMANDS = {
     "table": _cmd_table,
     "figure": _cmd_figure,
     "telemetry": _cmd_telemetry,
+    "lint": _cmd_lint,
+    "audit": _cmd_audit,
 }
 
 

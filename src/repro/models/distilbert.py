@@ -15,7 +15,7 @@ from .config import TransformerConfig
 from .transformer import (TransformerEncoder, cross_match_features,
                           lexical_match_scores)
 
-__all__ = ["DistilBertModel"]
+__all__ = ["DistilBertModel", "DistilBertEmbeddings"]
 
 
 class DistilBertEmbeddings(Module):

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import Dropout, Linear, Module, Tensor
+from ..nn import Dropout, Linear, Module, Tensor, no_grad
 from .config import TransformerConfig
 
 __all__ = ["SequenceClassifier"]
@@ -48,6 +48,7 @@ class SequenceClassifier(Module):
         features = self.hidden_layer(pooled).tanh()
         return self.output_layer(self.dropout(features))
 
+    @no_grad()
     def predict_proba(self, input_ids: np.ndarray,
                       segment_ids: np.ndarray | None = None,
                       pad_mask: np.ndarray | None = None,

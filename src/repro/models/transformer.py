@@ -6,7 +6,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import (Dropout, LayerNorm, Linear, Module, ModuleList,
+from ..nn import (DTYPE, Dropout, LayerNorm, Linear, Module, ModuleList,
                   MultiHeadAttention, Tensor)
 from .config import TransformerConfig
 
@@ -51,12 +51,12 @@ def cross_match_features(embedding_table: np.ndarray,
     masked = np.where(cross, similarity, -np.inf)
     has_cross = cross.any(axis=-1)
     exact_pairs = equal & cross
-    exact = exact_pairs.any(axis=-1).astype(np.float32)
+    exact = exact_pairs.any(axis=-1).astype(DTYPE)
     # Bigram: positions (i, j) match AND (i+1, j+1) match.
     bigram_pairs = np.zeros_like(exact_pairs)
     bigram_pairs[:, :-1, :-1] = exact_pairs[:, :-1, :-1] \
         & exact_pairs[:, 1:, 1:]
-    bigram = bigram_pairs.any(axis=-1).astype(np.float32)
+    bigram = bigram_pairs.any(axis=-1).astype(DTYPE)
     best = np.where(has_cross, masked.max(axis=-1), 0.0)
     counts = np.maximum(cross.sum(axis=-1), 1)
     mean = np.where(has_cross,
@@ -65,7 +65,7 @@ def cross_match_features(embedding_table: np.ndarray,
     features = np.stack([exact, bigram, best, mean], axis=-1)
     if invalid_ids:
         features[np.isin(input_ids, list(invalid_ids))] = 0.0
-    return features.astype(np.float32)
+    return features.astype(DTYPE)
 
 
 def lexical_match_scores(embedding_table: np.ndarray,
@@ -90,14 +90,14 @@ def lexical_match_scores(embedding_table: np.ndarray,
     if invalid_ids:
         invalid = np.isin(input_ids, list(invalid_ids))
         match[invalid[:, :, None] | invalid[:, None, :]] = 0.0
-    return match.astype(np.float32)
+    return match.astype(DTYPE)
 
 
 def sinusoidal_positions(length: int, d_model: int) -> np.ndarray:
     """The fixed sine/cosine positional encoding of the original paper."""
     position = np.arange(length)[:, None]
     div = np.exp(np.arange(0, d_model, 2) * (-np.log(10000.0) / d_model))
-    table = np.zeros((length, d_model), dtype=np.float32)
+    table = np.zeros((length, d_model), dtype=DTYPE)
     table[:, 0::2] = np.sin(position * div)
     table[:, 1::2] = np.cos(position * div[: (d_model + 1) // 2])
     return table

@@ -26,14 +26,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import (Dropout, Embedding, LayerNorm, Linear, Module, ModuleList,
+from ..nn import (DTYPE, Dropout, Embedding, LayerNorm, Linear, Module, ModuleList,
                   Parameter, Tensor)
 from ..nn import init
 from .config import TransformerConfig
 from .transformer import (cross_match_features, lexical_match_scores,
                           sinusoidal_positions)
 
-__all__ = ["XLNetModel", "XLNetRelativeAttention", "permutation_masks"]
+__all__ = ["XLNetModel", "XLNetLayer", "XLNetRelativeAttention",
+           "permutation_masks"]
 
 _NEG_INF = -1e9
 
@@ -66,7 +67,7 @@ class XLNetRelativeAttention(Module):
         self.match_gain = None
         if config.match_bias:
             self.match_gain = Parameter(
-                np.full((h,), 2.0, dtype=np.float32))
+                np.full((h,), 2.0, dtype=DTYPE))
 
     def _heads(self, x: Tensor) -> Tensor:
         b, t, d = x.shape
@@ -263,7 +264,7 @@ class XLNetModel(Module):
         content_mask = content_mask[None, None]
         query_mask = query_mask[None, None]
         seed = self.query_seed.reshape(1, 1, -1)
-        g = seed + Tensor(np.zeros((batch, seq_len, 1), dtype=np.float32))
+        g = seed + Tensor(np.zeros((batch, seq_len, 1), dtype=DTYPE))
         rel = self._rel_embeddings(seq_len)
         h = hidden
         for layer in self.layers:

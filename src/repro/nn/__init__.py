@@ -6,6 +6,7 @@ encoders and RNN baselines, losses, and optimizers.
 """
 
 from .attention import MultiHeadAttention, padding_attention_mask
+from .init import DTYPE
 from .layers import (Dropout, Embedding, GELU, LayerNorm, Linear, ReLU,
                      Sequential, Tanh)
 from .losses import (binary_cross_entropy_with_logits, cosine_embedding_loss,
@@ -19,7 +20,7 @@ from .serialization import (load_checkpoint, load_module, save_checkpoint,
 from .tensor import Tensor, is_grad_enabled, no_grad
 
 __all__ = [
-    "Tensor", "no_grad", "is_grad_enabled",
+    "Tensor", "no_grad", "is_grad_enabled", "DTYPE",
     "Module", "ModuleList", "Parameter",
     "Linear", "Embedding", "LayerNorm", "Dropout", "Sequential",
     "GELU", "ReLU", "Tanh",

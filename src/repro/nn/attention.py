@@ -4,11 +4,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from .init import DTYPE
 from .layers import Dropout, Linear
 from .module import Module
 from .tensor import Tensor
 
-__all__ = ["MultiHeadAttention", "split_heads", "merge_heads"]
+__all__ = ["MultiHeadAttention", "split_heads", "merge_heads",
+           "padding_attention_mask"]
 
 _NEG_INF = -1e9
 
@@ -62,7 +64,7 @@ class MultiHeadAttention(Module):
         if match_bias:
             from .module import Parameter
             self.match_gain = Parameter(
-                np.full((num_heads,), 2.0, dtype=np.float32))
+                np.full((num_heads,), 2.0, dtype=DTYPE))
 
     def forward(self, query: Tensor, key: Tensor | None = None,
                 value: Tensor | None = None,

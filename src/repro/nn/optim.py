@@ -10,8 +10,8 @@ import numpy as np
 
 from .module import Parameter
 
-__all__ = ["SGD", "Adam", "LinearSchedule", "ConstantSchedule",
-           "clip_grad_norm"]
+__all__ = ["Optimizer", "SGD", "Adam", "LinearSchedule",
+           "ConstantSchedule", "clip_grad_norm"]
 
 
 def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:

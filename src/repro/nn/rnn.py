@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .init import DTYPE
 from .layers import Linear
 from .module import Module
 from .tensor import Tensor
@@ -40,7 +41,7 @@ class GRUCell(Module):
         return (1.0 - z) * n + z * h
 
     def initial_state(self, batch: int) -> Tensor:
-        return Tensor(np.zeros((batch, self.hidden_size), dtype=np.float32))
+        return Tensor(np.zeros((batch, self.hidden_size), dtype=DTYPE))
 
 
 class LSTMCell(Module):
@@ -71,7 +72,7 @@ class LSTMCell(Module):
         return h_new, c_new
 
     def initial_state(self, batch: int) -> tuple[Tensor, Tensor]:
-        zeros = np.zeros((batch, self.hidden_size), dtype=np.float32)
+        zeros = np.zeros((batch, self.hidden_size), dtype=DTYPE)
         return Tensor(zeros), Tensor(zeros.copy())
 
 

@@ -13,7 +13,11 @@ fully (broadcasting-aware, batched where applicable).
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
+
+from .init import DTYPE
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
@@ -21,7 +25,12 @@ _GRAD_ENABLED = True
 
 
 class no_grad:
-    """Context manager that disables tape recording (used at inference)."""
+    """Disable tape recording (used at inference).
+
+    Usable as a context manager (``with no_grad():``) or as a decorator
+    (``@no_grad()``).  Nesting is safe: each block restores the grad
+    state that was active when it was entered.
+    """
 
     def __enter__(self):
         global _GRAD_ENABLED
@@ -33,6 +42,15 @@ class no_grad:
         global _GRAD_ENABLED
         _GRAD_ENABLED = self._prev
         return False
+
+    def __call__(self, func):
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            # A fresh instance per call: the decorated function may be
+            # reentrant, and __enter__ state lives on the instance.
+            with no_grad():
+                return func(*args, **kwargs)
+        return wrapper
 
 
 def is_grad_enabled() -> bool:
@@ -56,11 +74,22 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 
 
 def _as_array(value) -> np.ndarray:
+    """Coerce to a float array, defaulting to the canonical DTYPE.
+
+    Float arrays pass through untouched (gradcheck tests run the whole
+    tape in float64 by constructing float64 inputs); everything else —
+    python scalars, lists, integer arrays — lands on ``repro.nn.DTYPE``
+    so models train in one precision.
+    """
     if isinstance(value, np.ndarray):
-        if value.dtype == np.float64 or value.dtype == np.float32:
+        if value.dtype.kind == "f":
             return value
-        return value.astype(np.float64)
-    return np.asarray(value, dtype=np.float64)
+        return value.astype(DTYPE)
+    if isinstance(value, np.floating):
+        # Numpy float scalars (e.g. a full reduction) keep their own
+        # precision, like float arrays do.
+        return np.asarray(value)
+    return np.asarray(value, dtype=DTYPE)
 
 
 class Tensor:
@@ -69,8 +98,8 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; converted to ``float64`` unless already a float
-        numpy array.
+        Array-like payload; converted to the canonical ``repro.nn.DTYPE``
+        unless already a float numpy array.
     requires_grad:
         Whether gradients should flow into this tensor.  Intermediate
         tensors inherit this from their parents.
@@ -89,11 +118,13 @@ class Tensor:
 
     @staticmethod
     def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+        return Tensor(np.zeros(shape, dtype=DTYPE),
+                      requires_grad=requires_grad)
 
     @staticmethod
     def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape), requires_grad=requires_grad)
+        return Tensor(np.ones(shape, dtype=DTYPE),
+                      requires_grad=requires_grad)
 
     @staticmethod
     def _wrap(other) -> "Tensor":

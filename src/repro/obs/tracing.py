@@ -100,6 +100,10 @@ class Tracer:
     def active(self) -> Span | None:
         return self._stack[-1] if self._stack else None
 
+    def active_path(self) -> str:
+        """Slash-joined names of the currently open spans ('' if none)."""
+        return "/".join(span.name for span in self._stack)
+
 
 def aggregate_spans(roots: list[Span]) -> dict[str, dict[str, float]]:
     """Fold span trees into per-name totals.

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.evaluation",
     "repro.obs",
     "repro.utils",
+    "repro.analysis",
 ]
 
 

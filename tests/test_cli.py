@@ -40,6 +40,35 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "9"])
 
+    def test_lint_args(self):
+        args = build_parser().parse_args(
+            ["lint", "src/", "--format", "json", "--rules", "RA101,RA108"])
+        assert args.command == "lint"
+        assert args.paths == ["src/"]
+        assert args.format == "json"
+        assert args.rules == "RA101,RA108"
+
+    def test_lint_requires_paths(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint"])
+
+    def test_lint_format_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "src/", "--format", "xml"])
+
+    def test_audit_defaults(self):
+        args = build_parser().parse_args(["audit"])
+        assert args.command == "audit"
+        assert args.format == "text"
+        assert args.tests == "tests"
+        assert not args.strict
+
+    def test_audit_strict_flag(self):
+        args = build_parser().parse_args(["audit", "--strict",
+                                          "--format", "json"])
+        assert args.strict
+        assert args.format == "json"
+
 
 class TestCommands:
     def test_datasets_prints_table(self, capsys):

@@ -9,9 +9,14 @@ import numpy as np
 import pytest
 
 from repro.models import default_config
-from repro.models.transformer import TransformerEncoderLayer
-from repro.models.xlnet import XLNetRelativeAttention, permutation_masks
-from repro.nn import MultiHeadAttention, Tensor
+from repro.models.bert import BertEmbeddings, BertPretrainingHeads
+from repro.models.distilbert import DistilBertEmbeddings
+from repro.models.roberta import RobertaPretrainingHead
+from repro.models.transformer import TransformerEncoder, \
+    TransformerEncoderLayer
+from repro.models.xlnet import XLNetLayer, XLNetRelativeAttention, \
+    permutation_masks
+from repro.nn import GELU, MultiHeadAttention, ReLU, Tanh, Tensor
 
 from conftest import numerical_gradient
 
@@ -164,3 +169,135 @@ class TestXLNetGradients:
             for position_rank, position in enumerate(order):
                 visible = (~query[position]).sum()
                 assert visible == position_rank
+
+
+class TestActivationModules:
+    """The GELU / ReLU / Tanh Module wrappers must match their Tensor ops
+    and pass gradcheck like any other block."""
+
+    @pytest.mark.parametrize("layer_cls,op", [
+        (GELU, "gelu"), (ReLU, "relu"), (Tanh, "tanh")])
+    def test_module_gradient(self, rng, layer_cls, op):
+        layer = layer_cls()
+        # Keep inputs away from ReLU's kink at 0, where the numerical
+        # gradient is undefined.
+        x = rng.normal(size=(3, 5))
+        x[np.abs(x) < 0.1] += 0.5
+
+        def forward():
+            return float((layer(Tensor(x)) ** 2).sum().data)
+
+        t = Tensor(x, requires_grad=True)
+        (layer(t) ** 2).sum().backward()
+        numeric = numerical_gradient(forward, x)
+        assert np.abs(numeric - t.grad).max() < 1e-5
+        assert np.allclose(layer(Tensor(x)).data,
+                           getattr(Tensor(x), op)().data)
+
+
+class TestXLNetLayerGradients:
+    def test_xlnet_layer_input_gradient(self, rng):
+        config = default_config("xlnet", vocab_size=30, d_model=8,
+                                num_layers=1, num_heads=2, max_position=8,
+                                dropout=0.0)
+        layer = _to64(XLNetLayer(config, rng))
+        x = rng.normal(size=(1, 4, 8))
+        rel = rng.normal(size=(7, 8))
+
+        def forward():
+            return float((layer(Tensor(x), Tensor(rel)) ** 2).sum().data)
+
+        t = Tensor(x, requires_grad=True)
+        (layer(t, Tensor(rel)) ** 2).sum().backward()
+        numeric = numerical_gradient(forward, x)
+        assert np.abs(numeric - t.grad).max() < 1e-4
+
+
+class TestEncoderStackGradients:
+    def test_transformer_encoder_input_gradient(self, rng):
+        config = default_config("bert", vocab_size=30, d_model=8,
+                                num_layers=2, num_heads=2, max_position=8,
+                                dropout=0.0)
+        encoder = _to64(TransformerEncoder(config, rng))
+        x = rng.normal(size=(1, 3, 8))
+
+        def forward():
+            return float((encoder(Tensor(x)) ** 2).sum().data)
+
+        t = Tensor(x, requires_grad=True)
+        (encoder(t) ** 2).sum().backward()
+        numeric = numerical_gradient(forward, x)
+        assert np.abs(numeric - t.grad).max() < 1e-4
+
+    def test_transformer_encoder_return_all(self, rng):
+        config = default_config("bert", vocab_size=30, d_model=8,
+                                num_layers=2, num_heads=2, max_position=8,
+                                dropout=0.0)
+        encoder = TransformerEncoder(config, rng)
+        x = Tensor(rng.normal(size=(1, 3, 8)))
+        hidden, all_states = encoder(x, return_all=True)
+        assert len(all_states) == config.num_layers + 1
+        assert all_states[-1] is hidden
+
+
+class TestEmbeddingModuleGradients:
+    def _config(self, arch):
+        return default_config(arch, vocab_size=30, d_model=8,
+                              num_layers=1, num_heads=2, max_position=8,
+                              dropout=0.0)
+
+    def test_bert_embeddings_weight_gradient(self, rng):
+        embeddings = _to64(BertEmbeddings(self._config("bert"), rng))
+        ids = rng.integers(0, 30, size=(2, 4))
+        weight = embeddings.token.weight
+
+        def forward():
+            return float((embeddings(ids) ** 2).sum().data)
+
+        (embeddings(ids) ** 2).sum().backward()
+        numeric = numerical_gradient(forward, weight.data)
+        assert np.abs(numeric - weight.grad).max() < 1e-4
+
+    def test_distilbert_embeddings_weight_gradient(self, rng):
+        embeddings = _to64(DistilBertEmbeddings(self._config("distilbert"),
+                                                rng))
+        ids = rng.integers(0, 30, size=(2, 4))
+        weight = embeddings.position.weight
+
+        def forward():
+            return float((embeddings(ids) ** 2).sum().data)
+
+        (embeddings(ids) ** 2).sum().backward()
+        numeric = numerical_gradient(forward, weight.data)
+        assert np.abs(numeric - weight.grad).max() < 1e-4
+
+
+class TestPretrainingHeadGradients:
+    def _config(self, arch="bert"):
+        return default_config(arch, vocab_size=30, d_model=8,
+                              num_layers=1, num_heads=2, max_position=8,
+                              dropout=0.0)
+
+    def test_bert_pretraining_heads_mlm_gradient(self, rng):
+        heads = _to64(BertPretrainingHeads(self._config(), rng))
+        x = rng.normal(size=(1, 3, 8))
+
+        def forward():
+            return float((heads.mlm_logits(Tensor(x)) ** 2).sum().data)
+
+        t = Tensor(x, requires_grad=True)
+        (heads.mlm_logits(t) ** 2).sum().backward()
+        numeric = numerical_gradient(forward, x)
+        assert np.abs(numeric - t.grad).max() < 1e-4
+
+    def test_bert_nsp_logits_shape(self, rng):
+        heads = BertPretrainingHeads(self._config(), rng)
+        pooled = Tensor(rng.normal(size=(4, 8)))
+        assert heads.nsp_logits(pooled).shape == (4, 2)
+
+    def test_roberta_head_drops_nsp(self, rng):
+        head = RobertaPretrainingHead(self._config("roberta"), rng)
+        assert head.mlm_logits(Tensor(rng.normal(size=(1, 3, 8)))) \
+            .shape == (1, 3, 30)
+        with pytest.raises(RuntimeError):
+            head.nsp_logits(Tensor(rng.normal(size=(1, 8))))

@@ -224,6 +224,39 @@ class TestTape:
             assert not is_grad_enabled()
         assert is_grad_enabled()
 
+    def test_no_grad_as_decorator(self, rng):
+        t = Tensor(rng.normal(size=(3,)), requires_grad=True)
+
+        @no_grad()
+        def infer(x):
+            assert not is_grad_enabled()
+            return x * 2.0
+
+        out = infer(t)
+        assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_no_grad_nesting_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            # Leaving the inner block restores the *outer* state (still
+            # disabled), not the global default.
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_decorator_inside_context(self):
+        @no_grad()
+        def infer():
+            return is_grad_enabled()
+
+        with no_grad():
+            assert infer() is False
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
     def test_backward_requires_scalar(self, rng):
         t = Tensor(rng.normal(size=(3,)), requires_grad=True)
         with pytest.raises(RuntimeError):
