@@ -24,6 +24,9 @@ RA105  unregistered-parameter-tensor  ``self.x = Tensor(..., requires_grad=True)
 RA106  mutable-default-argument       list/dict/set default arguments
 RA107  all-export-drift               ``__all__`` out of sync with definitions
 RA108  legacy-global-rng              ``np.random.<fn>`` global-state calls
+RA109  non-atomic-artifact-write      save/write/dump functions that truncate
+                                      the destination in place instead of the
+                                      tmp-file + ``os.replace`` pattern
 ====== ============================== ==========================================
 
 Usage::
@@ -512,6 +515,81 @@ class _LegacyGlobalRng(LintRule):
                     f"seed")
 
 
+class _NonAtomicArtifactWrite(LintRule):
+    """Persistence helpers that ``open(path, "w")`` the real destination
+    truncate it first: a crash mid-write leaves a corrupt artifact that
+    poisons the next run.  Checkpoints, caches and telemetry artifacts
+    must be written to a temp file and ``os.replace``d into place (the
+    ``repro.utils.atomic_write_*`` helpers, or
+    ``repro.nn.save_checkpoint`` for arrays)."""
+
+    id = "RA109"
+    name = "non-atomic-artifact-write"
+    hint = ("write via repro.utils.atomic_write_text/_bytes (or a tmp "
+            "path + os.replace)")
+
+    _NAME = re.compile(r"save|write|dump|export|persist|checkpoint",
+                       re.IGNORECASE)
+    _MODES = ("w", "wb", "wt")
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if module.package == "repro.utils.atomic":
+            return  # the helper itself is the sanctioned tmp-writer
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef))
+                    and self._NAME.search(node.name)
+                    and not node.name.startswith("__")):
+                continue
+            if self._is_atomic(node):
+                continue
+            for write in self._raw_writes(node):
+                yield self.violation(
+                    module, write,
+                    f"{node.name}() writes its destination in place — a "
+                    f"crash mid-write leaves a truncated artifact; stage "
+                    f"to a tmp file and os.replace() it into place")
+
+    def _is_atomic(self, func: ast.AST) -> bool:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            # os.replace(tmp, path), or Path.replace(path) — single
+            # positional arg; two args on a non-os receiver would be
+            # str.replace, which is not a rename.
+            if (isinstance(callee, ast.Attribute)
+                    and callee.attr == "replace"):
+                receiver = callee.value
+                if (isinstance(receiver, ast.Name)
+                        and receiver.id == "os"):
+                    return True
+                if len(node.args) <= 1 and not node.keywords:
+                    return True
+            # Delegation to the sanctioned helpers (or any save_* that
+            # is itself checked wherever it is defined).
+            name = callee.attr if isinstance(callee, ast.Attribute) \
+                else getattr(callee, "id", "")
+            if name in ("atomic_write_text", "atomic_write_bytes",
+                        "save_checkpoint", "save_module"):
+                return True
+        return False
+
+    def _raw_writes(self, func: ast.AST) -> Iterator[ast.AST]:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if (isinstance(callee, ast.Name) and callee.id == "open"
+                    and len(node.args) >= 2
+                    and isinstance(node.args[1], ast.Constant)
+                    and node.args[1].value in self._MODES):
+                yield node
+            elif (isinstance(callee, ast.Attribute)
+                  and callee.attr in ("write_text", "write_bytes")):
+                yield node
+
+
 _RULES: tuple[LintRule, ...] = (
     _TensorDataNumpyCall(),
     _HardCodedFloatDtype(),
@@ -521,6 +599,7 @@ _RULES: tuple[LintRule, ...] = (
     _MutableDefaultArgument(),
     _AllExportDrift(),
     _LegacyGlobalRng(),
+    _NonAtomicArtifactWrite(),
 )
 
 

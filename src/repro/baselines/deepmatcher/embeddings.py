@@ -147,8 +147,12 @@ def get_word_embeddings(seed: int = 0, dim: int = 48,
     embeddings = train_sgns(corpus, dim=dim, seed=seed)
     words = sorted(embeddings.vectors)
     matrix = np.stack([embeddings.vectors[w] for w in words])
-    with open(path, "wb") as handle:
-        np.savez(handle,
-                 words=np.frombuffer(json.dumps(words).encode(), np.uint8),
-                 matrix=matrix)
+    import io
+
+    from ...utils import atomic_write_bytes
+    buffer = io.BytesIO()
+    np.savez(buffer,
+             words=np.frombuffer(json.dumps(words).encode(), np.uint8),
+             matrix=matrix)
+    atomic_write_bytes(path, buffer.getvalue())
     return embeddings

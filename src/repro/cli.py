@@ -11,6 +11,11 @@ Commands
     Build (or rebuild) the model-zoo checkpoint for an architecture.
 ``match``
     Fine-tune an architecture on a benchmark and report test F1.
+    With ``--checkpoint-dir`` the run snapshots its full training state
+    (resume with ``--resume`` or ``repro resume``).
+``resume``
+    Continue an interrupted ``match --checkpoint-dir`` run from its
+    newest verifiable snapshot (bit-identical to the uninterrupted run).
 ``table``
     Regenerate Table 3, 5 or 6.
 ``figure``
@@ -77,6 +82,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="use a tiny pre-training scale (CI smoke checks; "
                         "accuracy is meaningless at this scale)")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="snapshot full training state into this directory "
+                        "(enables crash recovery and `repro resume`)")
+    p.add_argument("--checkpoint-every", type=int, default=25,
+                   help="snapshot every N optimizer steps "
+                        "(0 = epoch boundaries only)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the newest snapshot in "
+                        "--checkpoint-dir instead of starting fresh")
+
+    p = sub.add_parser("resume",
+                       help="continue an interrupted `match "
+                            "--checkpoint-dir` run")
+    p.add_argument("checkpoint_dir",
+                   help="directory previously passed to "
+                        "`match --checkpoint-dir`")
+    p.add_argument("--telemetry", metavar="PATH", default=None,
+                   help="write a JSONL telemetry event stream to PATH")
+    p.add_argument("--zoo-dir", default=None,
+                   help="model-zoo cache directory (default: "
+                        "REPRO_ZOO_DIR or ~/.cache/repro/zoo)")
 
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("number", type=int, choices=[3, 5, 6])
@@ -142,34 +168,86 @@ def _smoke_zoo_settings():
                        max_position=64, seq_len=32)
 
 
-def _cmd_match(args) -> int:
+def _run_match(arch: str, dataset: str, scale: float, epochs: int,
+               seed: int, smoke: bool, zoo_dir, telemetry,
+               checkpoint_dir=None, checkpoint_every: int = 25,
+               resume: bool = False) -> int:
     from .matching import EntityMatcher, FineTuneConfig
-    data = load_benchmark(args.dataset, seed=args.seed, scale=args.scale)
-    splits = split_dataset(data, child_rng(args.seed, "split"))
+    data = load_benchmark(dataset, seed=seed, scale=scale)
+    splits = split_dataset(data, child_rng(seed, "split"))
     matcher = EntityMatcher(
-        args.arch, finetune_config=FineTuneConfig(epochs=args.epochs),
-        zoo_settings=_smoke_zoo_settings() if args.smoke else None,
-        zoo_dir=args.zoo_dir)
+        arch, finetune_config=FineTuneConfig(epochs=epochs),
+        zoo_settings=_smoke_zoo_settings() if smoke else None,
+        zoo_dir=zoo_dir)
 
     run = None
     callbacks = None
-    if args.telemetry:
+    if telemetry:
         from .obs import JsonlSink, TelemetryCallback, TelemetryRun
-        run = TelemetryRun(JsonlSink(args.telemetry),
-                           run_id=f"match-{args.arch}-{args.dataset}")
-        run.emit("run_begin", command="match", arch=args.arch,
-                 dataset=args.dataset, scale=args.scale,
-                 epochs=args.epochs, seed=args.seed, smoke=args.smoke)
+        run = TelemetryRun(JsonlSink(telemetry),
+                           run_id=f"match-{arch}-{dataset}")
+        run.emit("run_begin", command="match", arch=arch,
+                 dataset=dataset, scale=scale,
+                 epochs=epochs, seed=seed, smoke=smoke)
         callbacks = [TelemetryCallback(run)]
 
-    matcher.fit(splits.train, splits.test, log=print, callbacks=callbacks)
+    resilience = None
+    if checkpoint_dir:
+        from .resilience import ResilienceConfig
+        resilience = ResilienceConfig(
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+            run_context={"command": "match", "arch": arch,
+                         "dataset": dataset, "scale": scale,
+                         "epochs": epochs, "seed": seed, "smoke": smoke})
+
+    matcher.fit(splits.train, splits.test, log=print, callbacks=callbacks,
+                resilience=resilience)
     metrics = matcher.evaluate(splits.test).as_percent()
-    print(f"\n{args.arch} on {data.name}: F1 {metrics.f1:.1f} "
+    print(f"\n{arch} on {data.name}: F1 {metrics.f1:.1f} "
           f"(P {metrics.precision:.1f} / R {metrics.recall:.1f})")
     if run is not None:
         run.close()
-        print(f"telemetry written to {args.telemetry}")
+        print(f"telemetry written to {telemetry}")
     return 0
+
+
+def _cmd_match(args) -> int:
+    return _run_match(args.arch, args.dataset, args.scale, args.epochs,
+                      args.seed, args.smoke, args.zoo_dir, args.telemetry,
+                      checkpoint_dir=args.checkpoint_dir,
+                      checkpoint_every=args.checkpoint_every,
+                      resume=args.resume)
+
+
+def _cmd_resume(args) -> int:
+    from .nn import CheckpointError
+    from .resilience import CheckpointManager
+    manager = CheckpointManager(args.checkpoint_dir)
+    if not manager.has_snapshot():
+        print(f"error: no snapshots in {args.checkpoint_dir}",
+              file=sys.stderr)
+        return 1
+    try:
+        _, meta, path = manager.load_latest()
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    context = meta.get("run") or {}
+    if context.get("command") != "match":
+        print(f"error: {path} was not written by `repro match "
+              f"--checkpoint-dir` (no run context); re-run the original "
+              f"command with --resume instead", file=sys.stderr)
+        return 1
+    print(f"resuming {context['arch']} on {context['dataset']} from "
+          f"{path.name} (step {meta.get('step', '?')})")
+    return _run_match(context["arch"], context["dataset"],
+                      float(context["scale"]), int(context["epochs"]),
+                      int(context["seed"]), bool(context.get("smoke")),
+                      args.zoo_dir, args.telemetry,
+                      checkpoint_dir=args.checkpoint_dir,
+                      resume=True)
 
 
 def _cmd_table(args) -> int:
@@ -238,6 +316,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "pretrain": _cmd_pretrain,
     "match": _cmd_match,
+    "resume": _cmd_resume,
     "table": _cmd_table,
     "figure": _cmd_figure,
     "telemetry": _cmd_telemetry,

@@ -7,35 +7,41 @@ matching how the Magellan benchmark releases ship labeled pair tables.
 from __future__ import annotations
 
 import csv
+import io
 import json
 from pathlib import Path
 
+from ..utils import atomic_write_text
 from .records import EMDataset, EntityPair, Record
 
 __all__ = ["save_dataset", "load_dataset"]
 
 
 def save_dataset(dataset: EMDataset, path: str | Path) -> None:
-    """Write a pair dataset as CSV plus a .meta.json sidecar."""
+    """Write a pair dataset as CSV plus a .meta.json sidecar.
+
+    Both files land atomically (tmp + rename): a crash mid-save never
+    leaves a truncated CSV or a CSV without its sidecar's predecessor.
+    """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     header = ([f"a_{a}" for a in dataset.schema]
               + [f"b_{a}" for a in dataset.schema] + ["label"])
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(header)
-        for pair in dataset.pairs:
-            row = ([pair.record_a[a] for a in dataset.schema]
-                   + [pair.record_b[a] for a in dataset.schema]
-                   + [pair.label])
-            writer.writerow(row)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    for pair in dataset.pairs:
+        row = ([pair.record_a[a] for a in dataset.schema]
+               + [pair.record_b[a] for a in dataset.schema]
+               + [pair.label])
+        writer.writerow(row)
+    atomic_write_text(path, buffer.getvalue())
     meta = {
         "name": dataset.name,
         "domain": dataset.domain,
         "schema": dataset.schema,
         "text_attributes": dataset.text_attributes,
     }
-    path.with_suffix(".meta.json").write_text(json.dumps(meta))
+    atomic_write_text(path.with_suffix(".meta.json"), json.dumps(meta))
 
 
 def load_dataset(path: str | Path) -> EMDataset:

@@ -174,8 +174,8 @@ def run_transformer_cell(arch: str, dataset: str,
         result.f1_curves.append([f * 100.0 for f in run.f1_curve()])
         result.epoch_seconds.extend(run.epoch_seconds())
     if cache_path is not None:
-        cache_path.parent.mkdir(parents=True, exist_ok=True)
-        cache_path.write_text(json.dumps({
+        from ..utils import atomic_write_text
+        atomic_write_text(cache_path, json.dumps({
             "f1_curves": result.f1_curves,
             "epoch_seconds": result.epoch_seconds,
         }))

@@ -18,10 +18,13 @@ import numpy as np
 from ..data import EMDataset, EntityPair, Record
 from ..models import ARCHITECTURES
 from ..nn import no_grad
+from ..obs import CallbackList
 from ..pretraining import PretrainedModel, ZooSettings, get_pretrained
+from ..resilience import (MatchOutcome, ResilienceConfig,
+                          fallback_probability)
 from .finetune import FineTuneConfig, FineTuneResult, fine_tune
 from .metrics import MatchingMetrics
-from .serializer import encode_dataset, pair_texts
+from .serializer import encode_dataset, pair_texts, uniform_cls_index
 
 __all__ = ["EntityMatcher"]
 
@@ -74,12 +77,15 @@ class EntityMatcher:
         return self._result is not None
 
     def fit(self, train: EMDataset, test: EMDataset | None = None,
-            log=None, callbacks=None) -> FineTuneResult:
+            log=None, callbacks=None,
+            resilience: ResilienceConfig | None = None) -> FineTuneResult:
         """Fine-tune on ``train``; track per-epoch F1 on ``test`` if given
         (otherwise on a slice of the training data).
 
         ``callbacks`` takes :class:`repro.obs.Callback` instances; ``log``
-        is the legacy print hook (still supported).
+        is the legacy print hook (still supported).  ``resilience`` opts
+        into checkpoint/resume and divergence rollback (see
+        :class:`repro.resilience.ResilienceConfig`).
         """
         eval_set = test if test is not None else train[: max(len(train) // 5, 1)]
         self._schema = list(train.schema)
@@ -87,7 +93,8 @@ class EntityMatcher:
         self._result = fine_tune(self.pretrained, train, eval_set,
                                  config=self.finetune_config,
                                  seed=self.seed, log=log,
-                                 callbacks=callbacks)
+                                 callbacks=callbacks,
+                                 resilience=resilience)
         return self._result
 
     # -- inference --------------------------------------------------------------
@@ -112,7 +119,7 @@ class EntityMatcher:
                 logits = result.classifier(
                     batch.input_ids, segment_ids=batch.segment_ids,
                     pad_mask=batch.pad_masks,
-                    cls_index=int(batch.cls_indices[0]))
+                    cls_index=uniform_cls_index(batch.cls_indices))
                 outputs.append(logits.numpy().argmax(axis=-1))
         return np.concatenate(outputs) if outputs else np.array([])
 
@@ -146,3 +153,58 @@ class EntityMatcher:
               threshold: float = 0.5) -> bool:
         """Binary match decision for a single record pair."""
         return self.match_probability(entity_a, entity_b) >= threshold
+
+    def _pair_texts(self, entity_a: dict | Record,
+                    entity_b: dict | Record) -> tuple[str, str]:
+        record_a = entity_a if isinstance(entity_a, Record) \
+            else Record(dict(entity_a))
+        record_b = entity_b if isinstance(entity_b, Record) \
+            else Record(dict(entity_b))
+        schema = self._schema or record_a.attributes()
+        attributes = self._text_attributes or schema
+        return pair_texts(EntityPair(record_a, record_b, 0), attributes)
+
+    def match_many(self, pairs, threshold: float = 0.5,
+                   fallback: bool = True,
+                   callbacks=None) -> list[MatchOutcome]:
+        """Match a batch of ``(entity_a, entity_b)`` pairs, isolating
+        per-pair failures.
+
+        A pair whose transformer path raises does not abort the batch:
+        with ``fallback=True`` (the default) it is answered by the
+        classical-similarity scorer and returned with ``degraded=True``
+        and the failure message in ``error``; with ``fallback=False`` it
+        comes back as a non-match with ``probability=0.0``.  Degraded
+        pairs surface as ``recovery`` telemetry events through
+        ``callbacks``.
+        """
+        self._require_fitted()
+        cb = CallbackList.resolve(callbacks, None)
+        outcomes: list[MatchOutcome] = []
+        for index, (entity_a, entity_b) in enumerate(pairs):
+            try:
+                probability = self.match_probability(entity_a, entity_b)
+                outcomes.append(MatchOutcome(
+                    index=index, probability=probability,
+                    matched=probability >= threshold))
+                continue
+            except Exception as exc:  # noqa: BLE001 — isolation point
+                error = f"{type(exc).__name__}: {exc}"
+            probability = 0.0
+            if fallback:
+                try:
+                    text_a, text_b = self._pair_texts(entity_a, entity_b)
+                    probability = fallback_probability(text_a, text_b)
+                except Exception as exc:  # noqa: BLE001
+                    error += f"; fallback failed too ({exc})"
+            outcomes.append(MatchOutcome(
+                index=index, probability=probability,
+                matched=fallback and probability >= threshold,
+                degraded=True, error=error))
+            if cb:
+                cb.on_recovery({
+                    "phase": "match", "reason": "pair_failure",
+                    "action": ("similarity_fallback" if fallback
+                               else "skipped"),
+                    "index": index, "error": error})
+        return outcomes

@@ -16,7 +16,30 @@ from ..data import EMDataset, EntityPair
 from ..tokenizers import Encoding, SubwordTokenizer
 
 __all__ = ["pair_texts", "choose_max_length", "encode_dataset",
-           "EncodedPairs"]
+           "EncodedPairs", "uniform_cls_index"]
+
+
+def uniform_cls_index(cls_indices: np.ndarray) -> int:
+    """The single CLS position shared by every sequence in a batch.
+
+    The classifier reads one hidden state per batch (``cls_index``), so
+    all sequences must agree on where CLS sits.  BERT-style tokenizers
+    put it at position 0; XLNet puts it at the *end* of the (fixed,
+    padded) sequence — a mixed batch would silently read a wrong hidden
+    state for part of the batch, hence the hard error.
+    """
+    cls_indices = np.asarray(cls_indices)
+    if cls_indices.size == 0:
+        raise ValueError("cannot take the CLS index of an empty batch")
+    first = int(cls_indices[0])
+    if not np.all(cls_indices == first):
+        positions = sorted(int(i) for i in np.unique(cls_indices))
+        raise ValueError(
+            f"batch mixes CLS positions {positions}: every sequence in a "
+            f"batch must place CLS at the same index (XLNet-style "
+            f"tokenizers put it at the sequence end, BERT-style at 0) — "
+            f"encode all pairs with one tokenizer and a fixed max_length")
+    return first
 
 
 def pair_texts(pair: EntityPair, attributes: list[str]) -> tuple[str, str]:

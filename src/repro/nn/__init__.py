@@ -15,8 +15,9 @@ from .module import Module, ModuleList, Parameter
 from .optim import (Adam, ConstantSchedule, LinearSchedule, SGD,
                     clip_grad_norm)
 from .rnn import BiRNN, GRUCell, LSTMCell
-from .serialization import (load_checkpoint, load_module, save_checkpoint,
-                            save_module)
+from .serialization import (CheckpointError, apply_state_dict,
+                            array_checksum, load_checkpoint, load_module,
+                            save_checkpoint, save_module)
 from .tensor import Tensor, is_grad_enabled, no_grad
 
 __all__ = [
@@ -30,4 +31,5 @@ __all__ = [
     "distillation_loss", "cosine_embedding_loss", "mse_loss",
     "SGD", "Adam", "LinearSchedule", "ConstantSchedule", "clip_grad_norm",
     "save_checkpoint", "load_checkpoint", "save_module", "load_module",
+    "CheckpointError", "apply_state_dict", "array_checksum",
 ]

@@ -40,6 +40,40 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Name->array snapshot of the optimizer's internal state.
+
+        Keys are flat strings (``"m.3"``, ``"step_count"``); scalars are
+        stored as 0-d arrays so the dict round-trips through
+        :func:`repro.nn.save_checkpoint` unchanged.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} carries no state but the "
+                f"checkpoint provides keys {sorted(state)}")
+
+    def _load_slot_arrays(self, state: dict, name: str,
+                          slots: list[np.ndarray]) -> None:
+        """Copy ``state[f"{name}.{i}"]`` into per-parameter buffers."""
+        for i, slot in enumerate(slots):
+            key = f"{name}.{i}"
+            if key not in state:
+                raise ValueError(
+                    f"optimizer state missing key {key!r} "
+                    f"(expected {len(slots)} {name!r} buffers)")
+            value = np.asarray(state[key])
+            if value.shape != slot.shape:
+                raise ValueError(
+                    f"optimizer state shape mismatch for {key!r}: "
+                    f"checkpoint {value.shape} vs live {slot.shape}")
+            slot[...] = value.astype(slot.dtype)
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -64,6 +98,17 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             param.data -= self.lr * grad
+
+    def state_dict(self) -> dict:
+        state = {f"velocity.{i}": v.copy()
+                 for i, v in enumerate(self._velocity)}
+        state["lr"] = np.asarray(self.lr)
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        self._load_slot_arrays(state, "velocity", self._velocity)
+        if "lr" in state:
+            self.lr = float(np.asarray(state["lr"]))
 
 
 class Adam(Optimizer):
@@ -101,6 +146,24 @@ class Adam(Optimizer):
                 update = update + self.weight_decay * param.data
             param.data -= self.lr * update
 
+    def state_dict(self) -> dict:
+        state = {}
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m.{i}"] = m.copy()
+            state[f"v.{i}"] = v.copy()
+        state["step_count"] = np.asarray(self._step_count)
+        state["lr"] = np.asarray(self.lr)
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        self._load_slot_arrays(state, "m", self._m)
+        self._load_slot_arrays(state, "v", self._v)
+        if "step_count" not in state:
+            raise ValueError("Adam state missing 'step_count'")
+        self._step_count = int(np.asarray(state["step_count"]))
+        if "lr" in state:
+            self.lr = float(np.asarray(state["lr"]))
+
 
 class LinearSchedule:
     """Linear warmup to ``base_lr`` then linear decay to zero.
@@ -132,13 +195,34 @@ class LinearSchedule:
         self._step_count += 1
         self.optimizer.lr = self.current_lr()
 
+    def state_dict(self) -> dict:
+        return {"step_count": np.asarray(self._step_count),
+                "base_lr": np.asarray(self.base_lr)}
+
+    def load_state_dict(self, state: dict) -> None:
+        if "step_count" not in state:
+            raise ValueError("LinearSchedule state missing 'step_count'")
+        self._step_count = int(np.asarray(state["step_count"]))
+        if "base_lr" in state:
+            self.base_lr = float(np.asarray(state["base_lr"]))
+        self.optimizer.lr = self.current_lr()
+
 
 class ConstantSchedule:
     """No-op schedule with the same interface as :class:`LinearSchedule`."""
 
     def __init__(self, optimizer: Optimizer, base_lr: float):
         self.optimizer = optimizer
+        self.base_lr = base_lr
         self.optimizer.lr = base_lr
 
     def step(self) -> None:
         pass
+
+    def state_dict(self) -> dict:
+        return {"base_lr": np.asarray(self.base_lr)}
+
+    def load_state_dict(self, state: dict) -> None:
+        if "base_lr" in state:
+            self.base_lr = float(np.asarray(state["base_lr"]))
+        self.optimizer.lr = self.base_lr

@@ -2,47 +2,169 @@
 
 Checkpoints are plain ``.npz`` archives mapping parameter names to arrays,
 so they are portable, diffable with numpy, and need no pickle.
+
+Since format version 2 every archive additionally carries a JSON
+*manifest* (under the ``__manifest__`` key) recording the format version,
+the list of saved arrays and a per-array SHA-256 content checksum.
+:func:`load_checkpoint` verifies the manifest on read, so a truncated
+file, a flipped byte, or a missing array surfaces as a single
+:class:`CheckpointError` naming the file and the offending keys instead
+of a raw ``zipfile.BadZipFile``/``KeyError`` deep inside numpy.  Archives
+written before the manifest existed still load (with a best-effort
+integrity check from the zip layer only).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from .module import Module
 
-__all__ = ["save_checkpoint", "load_checkpoint", "save_module", "load_module"]
+__all__ = ["CheckpointError", "FORMAT_VERSION", "save_checkpoint",
+           "load_checkpoint", "save_module", "load_module",
+           "apply_state_dict", "array_checksum"]
 
 _META_KEY = "__meta__"
+_MANIFEST_KEY = "__manifest__"
+
+#: Current checkpoint format version (bumped when the manifest changes).
+FORMAT_VERSION = 2
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be read, verified, or applied.
+
+    Attributes
+    ----------
+    path:
+        The checkpoint file involved ('' when not file-backed).
+    keys:
+        The offending array/parameter names, when the failure is
+        attributable to specific keys (corrupt arrays, shape or name
+        mismatches); empty for whole-file failures.
+    """
+
+    def __init__(self, message: str, path: str | Path = "",
+                 keys: list[str] | None = None):
+        super().__init__(message)
+        self.path = str(path)
+        self.keys = list(keys or [])
+
+
+def array_checksum(value: np.ndarray) -> str:
+    """Stable content hash of an array (shape/dtype/bytes)."""
+    value = np.ascontiguousarray(value)
+    digest = hashlib.sha256()
+    digest.update(str(value.dtype).encode())
+    digest.update(str(value.shape).encode())
+    digest.update(value.tobytes())
+    return digest.hexdigest()[:16]
+
+
+def _json_to_array(payload) -> np.ndarray:
+    return np.frombuffer(json.dumps(payload).encode("utf-8"),
+                         dtype=np.uint8)
 
 
 def save_checkpoint(path: str | Path, state: dict,
                     metadata: dict | None = None) -> None:
-    """Write a name->array state dict (plus JSON metadata) to ``path``."""
+    """Write a name->array state dict (plus JSON metadata) to ``path``.
+
+    The write is atomic (temp file + ``os.replace``) and stamps a
+    format-v2 manifest with per-array checksums.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     arrays = {name: np.asarray(value) for name, value in state.items()}
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "keys": sorted(arrays),
+        "checksums": {name: array_checksum(value)
+                      for name, value in arrays.items()},
+    }
+    arrays[_MANIFEST_KEY] = _json_to_array(manifest)
     if metadata is not None:
-        arrays[_META_KEY] = np.frombuffer(
-            json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
+        arrays[_META_KEY] = _json_to_array(metadata)
     tmp = path.with_suffix(path.suffix + ".tmp")
     with open(tmp, "wb") as handle:
         np.savez(handle, **arrays)
     os.replace(tmp, path)
 
 
-def load_checkpoint(path: str | Path) -> tuple[dict, dict | None]:
-    """Read a checkpoint; returns (state_dict, metadata_or_None)."""
-    with np.load(path) as archive:
-        state = {name: archive[name] for name in archive.files
-                 if name != _META_KEY}
+def _read_json_member(archive, name: str, path: Path) -> dict:
+    try:
+        return json.loads(archive[name].tobytes().decode("utf-8"))
+    except Exception as exc:
+        raise CheckpointError(
+            f"checkpoint {path} has a corrupt {name!r} record: {exc}",
+            path=path, keys=[name]) from exc
+
+
+def load_checkpoint(path: str | Path,
+                    verify: bool = True) -> tuple[dict, dict | None]:
+    """Read a checkpoint; returns (state_dict, metadata_or_None).
+
+    Raises :class:`CheckpointError` — never a raw ``zipfile`` or ``KeyError``
+    — when the file is missing, truncated, fails its manifest checksums,
+    or lacks arrays the manifest promises.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint file does not exist: {path}",
+                              path=path)
+    try:
+        archive = np.load(path)
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is not a readable .npz archive "
+            f"(truncated or corrupt): {exc}", path=path) from exc
+    with archive:
+        state: dict[str, np.ndarray] = {}
+        bad_keys: list[str] = []
+        for name in archive.files:
+            if name in (_META_KEY, _MANIFEST_KEY):
+                continue
+            try:
+                state[name] = archive[name]
+            except Exception:
+                bad_keys.append(name)
+        if bad_keys:
+            raise CheckpointError(
+                f"checkpoint {path} has unreadable arrays (corrupt "
+                f"members): {sorted(bad_keys)}", path=path, keys=bad_keys)
         metadata = None
         if _META_KEY in archive.files:
-            metadata = json.loads(archive[_META_KEY].tobytes().decode("utf-8"))
+            metadata = _read_json_member(archive, _META_KEY, path)
+        manifest = None
+        if _MANIFEST_KEY in archive.files:
+            manifest = _read_json_member(archive, _MANIFEST_KEY, path)
+    if manifest is not None and verify:
+        _verify_manifest(path, state, manifest)
     return state, metadata
+
+
+def _verify_manifest(path: Path, state: dict, manifest: dict) -> None:
+    expected = manifest.get("keys", [])
+    missing = sorted(set(expected) - set(state))
+    if missing:
+        raise CheckpointError(
+            f"checkpoint {path} is missing arrays its manifest promises: "
+            f"{missing}", path=path, keys=missing)
+    checksums = manifest.get("checksums", {})
+    mismatched = sorted(
+        name for name, digest in checksums.items()
+        if name in state and array_checksum(state[name]) != digest)
+    if mismatched:
+        raise CheckpointError(
+            f"checkpoint {path} failed checksum verification for "
+            f"{mismatched} — the file was corrupted after writing",
+            path=path, keys=mismatched)
 
 
 def save_module(path: str | Path, module: Module,
@@ -52,7 +174,36 @@ def save_module(path: str | Path, module: Module,
 
 
 def load_module(path: str | Path, module: Module) -> dict | None:
-    """Load a checkpoint into ``module``; returns its metadata if any."""
+    """Load a checkpoint into ``module``; returns its metadata if any.
+
+    Key or shape mismatches between the checkpoint and the module raise
+    :class:`CheckpointError` naming the file and the offending parameters.
+    """
     state, metadata = load_checkpoint(path)
-    module.load_state_dict(state)
+    apply_state_dict(module, state, source=path)
     return metadata
+
+
+def apply_state_dict(module: Module, state: dict,
+                     source: str | Path = "<state dict>") -> None:
+    """``module.load_state_dict`` with failures normalized to
+    :class:`CheckpointError` (naming ``source`` and the offending keys)."""
+    own = dict(module.named_parameters())
+    missing = sorted(set(own) - set(state))
+    unexpected = sorted(set(state) - set(own))
+    if missing or unexpected:
+        raise CheckpointError(
+            f"checkpoint {source} does not match the module: "
+            f"missing={missing} unexpected={unexpected}",
+            path=source, keys=missing + unexpected)
+    bad_shapes = [
+        f"{name} (checkpoint {np.asarray(state[name]).shape} vs model "
+        f"{param.data.shape})"
+        for name, param in own.items()
+        if np.asarray(state[name]).shape != param.data.shape]
+    if bad_shapes:
+        names = [entry.split(" ", 1)[0] for entry in bad_shapes]
+        raise CheckpointError(
+            f"checkpoint {source} has shape mismatches: "
+            f"{'; '.join(bad_shapes)}", path=source, keys=names)
+    module.load_state_dict(state)

@@ -40,6 +40,12 @@ class Callback:
     def on_eval(self, info: dict) -> None:
         pass
 
+    def on_checkpoint(self, info: dict) -> None:
+        pass
+
+    def on_recovery(self, info: dict) -> None:
+        pass
+
     def on_train_end(self, info: dict) -> None:
         pass
 
@@ -97,6 +103,14 @@ class CallbackList(Callback):
         for callback in self.callbacks:
             callback.on_eval(info)
 
+    def on_checkpoint(self, info: dict) -> None:
+        for callback in self.callbacks:
+            callback.on_checkpoint(info)
+
+    def on_recovery(self, info: dict) -> None:
+        for callback in self.callbacks:
+            callback.on_recovery(info)
+
     def on_train_end(self, info: dict) -> None:
         for callback in self.callbacks:
             callback.on_train_end(info)
@@ -152,6 +166,7 @@ class TelemetryCallback(Callback):
 
     _KINDS = {"on_train_begin": "train_begin", "on_step": "step",
               "on_epoch_end": "epoch_end", "on_eval": "eval",
+              "on_checkpoint": "checkpoint", "on_recovery": "recovery",
               "on_train_end": "train_end"}
 
     def __init__(self, run: TelemetryRun):
@@ -174,6 +189,14 @@ class TelemetryCallback(Callback):
 
     def on_eval(self, info: dict) -> None:
         self.run.emit("eval", **info)
+
+    def on_checkpoint(self, info: dict) -> None:
+        self.run.emit("checkpoint", **info)
+        self.run.registry.counter("resilience.checkpoints").inc()
+
+    def on_recovery(self, info: dict) -> None:
+        self.run.emit("recovery", **info)
+        self.run.registry.counter("resilience.recoveries").inc()
 
     def on_train_end(self, info: dict) -> None:
         self.run.emit("train_end", **info)

@@ -42,6 +42,8 @@ EVENT_KINDS = frozenset({
     "span",         # one completed tracing span (flattened tree node)
     "metric",       # one registry metric snapshot
     "profile",      # op-level profiler result (per-op-kind stats)
+    "checkpoint",   # a training snapshot was written (step, path)
+    "recovery",     # a fault was detected and survived (reason, action)
 })
 
 # Payload keys that must be present for each kind (beyond these, payloads
@@ -57,6 +59,8 @@ _REQUIRED_PAYLOAD: dict[str, tuple[str, ...]] = {
     "span": ("name", "seconds"),
     "metric": ("name", "metric_kind"),
     "profile": ("ops",),
+    "checkpoint": ("step",),
+    "recovery": ("reason", "action"),
 }
 
 

@@ -101,6 +101,31 @@ def _steps_section(events: list[dict]) -> list[str]:
     return lines
 
 
+def _resilience_section(events: list[dict]) -> list[str]:
+    recoveries = [e["payload"] for e in events if e["kind"] == "recovery"]
+    checkpoints = [e["payload"] for e in events
+                   if e["kind"] == "checkpoint"]
+    if not recoveries and not checkpoints:
+        return []
+    lines = []
+    if checkpoints:
+        steps = [p["step"] for p in checkpoints]
+        lines.append(f"checkpoints: {len(checkpoints)} "
+                     f"(last at step {max(steps)})")
+    if recoveries:
+        lines.append(f"recoveries: {len(recoveries)}")
+        for payload in recoveries:
+            detail = " ".join(
+                f"{k}={v}" for k, v in sorted(payload.items())
+                if k not in ("reason", "action"))
+            line = f"  {payload['reason']} -> {payload['action']}"
+            if detail:
+                line += f" ({detail})"
+            lines.append(line)
+    lines.append("")
+    return lines
+
+
 def _metrics_section(events: list[dict]) -> list[str]:
     metrics = [e["payload"] for e in events if e["kind"] == "metric"]
     if not metrics:
@@ -148,6 +173,7 @@ def render_report(events: list[dict], validate: bool = True) -> str:
     lines.extend(_ops_section(events))
     lines.extend(_curves_section(events))
     lines.extend(_steps_section(events))
+    lines.extend(_resilience_section(events))
     lines.extend(_metrics_section(events))
     return "\n".join(lines).rstrip() + "\n"
 

@@ -26,12 +26,13 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..models import TransformerConfig, default_config
-from ..nn import Module, load_checkpoint, save_checkpoint
+from ..nn import (CheckpointError, Module, apply_state_dict,
+                  load_checkpoint, save_checkpoint)
 from ..tokenizers import (ByteLevelBPETokenizer, SubwordTokenizer,
                           UnigramTokenizer, WordPieceTokenizer,
                           train_byte_level_bpe, train_unigram,
                           train_wordpiece)
-from ..utils import child_rng
+from ..utils import atomic_write_text, child_rng
 from .corpus import generate_corpus
 from .distillation import DistillationRecipe, distill
 from .trainer import PretrainRecipe, PretrainResult, pretrain
@@ -172,11 +173,17 @@ def get_pretrained(arch: str, seed: int = 0,
         from ..models import build_backbone
         backbone = build_backbone(config, child_rng(seed, "init", arch))
         backbone.special_token_ids = tokenizer.vocab.special_ids()
-        state, _ = load_checkpoint(weights_path)
-        backbone.load_state_dict(state)
-        backbone.eval()
-        return PretrainedModel(arch, config, backbone, tokenizer,
-                               from_cache=True)
+        try:
+            state, _ = load_checkpoint(weights_path)
+            apply_state_dict(backbone, state, source=str(weights_path))
+        except CheckpointError:
+            # A corrupt/truncated/incompatible cache entry is not fatal —
+            # discard it and regenerate below, exactly like a cache miss.
+            weights_path.unlink(missing_ok=True)
+        else:
+            backbone.eval()
+            return PretrainedModel(arch, config, backbone, tokenizer,
+                                   from_cache=True)
 
     result = _run_pretraining(arch, config, tokenizer, settings, seed,
                               directory, log)
@@ -191,10 +198,14 @@ def _load_or_train_tokenizer(arch: str, settings: ZooSettings, seed: int,
                              path: Path,
                              force_retrain: bool) -> SubwordTokenizer:
     if path.exists() and not force_retrain:
-        payload = json.loads(path.read_text())
-        return _TOKENIZER_CLASSES[payload["kind"]].from_payload(payload)
+        try:
+            payload = json.loads(path.read_text())
+            return _TOKENIZER_CLASSES[payload["kind"]].from_payload(payload)
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # Truncated or garbled tokenizer cache: retrain it.
+            path.unlink(missing_ok=True)
     tokenizer = _train_tokenizer(arch, settings, seed)
-    path.write_text(json.dumps(tokenizer.to_payload()))
+    atomic_write_text(path, json.dumps(tokenizer.to_payload()))
     return tokenizer
 
 
@@ -235,15 +246,20 @@ def _teacher_head(teacher: PretrainedModel, settings: ZooSettings,
     head = build_pretraining_head(teacher.config,
                                   child_rng(seed, "init", "bert-head"))
     if head_path.exists():
-        state, _ = load_checkpoint(head_path)
-        head.load_state_dict(state)
-    else:
-        # Teacher was cached before head caching existed: re-run pretrain.
-        recipe = _recipe_for("bert", settings)
-        result = pretrain(teacher.config, teacher.tokenizer, recipe,
-                          child_rng(seed, "pretrain", "bert"), log=log)
-        head = result.head
-        save_checkpoint(head_path, head.state_dict(),
-                        metadata={"arch": "bert-mlm-head"})
+        try:
+            state, _ = load_checkpoint(head_path)
+            apply_state_dict(head, state, source=str(head_path))
+            head.eval()
+            return head
+        except CheckpointError:
+            head_path.unlink(missing_ok=True)
+    # Teacher was cached before head caching existed (or the cached head
+    # is corrupt): re-run pretrain to regenerate it.
+    recipe = _recipe_for("bert", settings)
+    result = pretrain(teacher.config, teacher.tokenizer, recipe,
+                      child_rng(seed, "pretrain", "bert"), log=log)
+    head = result.head
+    save_checkpoint(head_path, head.state_dict(),
+                    metadata={"arch": "bert-mlm-head"})
     head.eval()
     return head

@@ -31,10 +31,13 @@ import numpy as np
 
 from ..models import build_backbone, build_pretraining_head
 from ..models.config import TransformerConfig
-from ..nn import (Adam, Linear, LinearSchedule, Module, clip_grad_norm,
-                  cross_entropy)
+from ..nn import (Adam, Linear, LinearSchedule, Module, apply_state_dict,
+                  clip_grad_norm, cross_entropy)
 from ..obs import CallbackList, trace
+from ..resilience import (DivergenceGuard, ResilienceConfig,
+                          TrainingDiverged, pack_state, unpack_state)
 from ..tokenizers import SubwordTokenizer
+from ..utils import get_rng_state, set_rng_state
 from .corpus import generate_labeled_documents
 from .mlm import IGNORE_INDEX, mask_tokens
 from .nsp import build_nsp_examples
@@ -112,13 +115,16 @@ def _encode_pairs(tokenizer: SubwordTokenizer, pairs, seq_len: int):
 
 def pretrain(config: TransformerConfig, tokenizer: SubwordTokenizer,
              recipe: PretrainRecipe, rng: np.random.Generator,
-             log=None, callbacks=None) -> PretrainResult:
+             log=None, callbacks=None,
+             resilience: ResilienceConfig | None = None) -> PretrainResult:
     """Run the architecture-appropriate pre-training and return the model.
 
     Progress is reported through the :mod:`repro.obs` callback protocol
     (``train_begin`` → per-step ``step`` → ``train_end``); the legacy
     ``log=`` print hook is shimmed onto a ``LoggingCallback`` (same
-    every-100-steps lines as before).
+    every-100-steps lines as before).  ``resilience`` opts into full-state
+    checkpointing (resume is bit-identical), divergence rollback, and
+    chaos injection — see :class:`repro.resilience.ResilienceConfig`.
     """
     cb = CallbackList.resolve(callbacks, log)
     backbone = build_backbone(config, rng)
@@ -166,16 +172,106 @@ def pretrain(config: TransformerConfig, tokenizer: SubwordTokenizer,
             "permutation_lm": recipe.permutation_lm,
             "dynamic_masking": recipe.dynamic_masking})
 
+    manager = guard = chaos = None
+    checkpoint_every = 0
+    if resilience is not None:
+        manager = resilience.manager()
+        checkpoint_every = max(int(resilience.checkpoint_every), 0)
+        if resilience.guard:
+            guard = DivergenceGuard(resilience.guard_config)
+        chaos = resilience.chaos
+
+    # CLS placement is batch-uniform by construction (one tokenizer, one
+    # seq_len); validate the whole encoded set once instead of trusting
+    # index 0 of every batch.
+    from ..matching.serializer import uniform_cls_index
+    cls_index = uniform_cls_index(all_cls)
+
     history: list[float] = []
     n = all_ids.shape[0]
+    step = 0
+    rollbacks_since_save = 0
+
+    def _snapshot() -> tuple[dict, dict]:
+        arrays: dict[str, np.ndarray] = {}
+        pack_state(arrays, "backbone", backbone.state_dict())
+        pack_state(arrays, "head", head.state_dict())
+        if coherence_head is not None:
+            pack_state(arrays, "coherence", coherence_head.state_dict())
+        pack_state(arrays, "optim", optimizer.state_dict())
+        pack_state(arrays, "sched", schedule.state_dict())
+        arrays["loop/history"] = np.asarray(history)
+        meta = {"kind": "pretrain", "step": step,
+                "rng": get_rng_state(rng),
+                "steps": recipe.steps, "batch_size": recipe.batch_size,
+                "seq_len": recipe.seq_len,
+                "run": (resilience.run_context or {}) if resilience else {}}
+        return arrays, meta
+
+    def _save_snapshot() -> None:
+        nonlocal rollbacks_since_save
+        arrays, meta = _snapshot()
+        path = manager.save(step, arrays, meta)
+        rollbacks_since_save = 0
+        if cb:
+            cb.on_checkpoint({"phase": "pretrain", "step": step,
+                              "path": str(path)})
+
+    def _restore(arrays: dict, meta: dict) -> None:
+        nonlocal step, history
+        apply_state_dict(backbone, unpack_state(arrays, "backbone"),
+                         source="snapshot backbone state")
+        apply_state_dict(head, unpack_state(arrays, "head"),
+                         source="snapshot head state")
+        if coherence_head is not None:
+            apply_state_dict(coherence_head,
+                             unpack_state(arrays, "coherence"),
+                             source="snapshot coherence state")
+        optimizer.load_state_dict(unpack_state(arrays, "optim"))
+        schedule.load_state_dict(unpack_state(arrays, "sched"))
+        set_rng_state(rng, meta["rng"])
+        step = int(meta["step"])
+        history[:] = [float(x) for x in np.asarray(arrays["loop/history"])]
+
+    resumed = False
+    if manager is not None and resilience.resume and manager.has_snapshot():
+        arrays, meta, path = manager.load_latest()
+        _restore(arrays, meta)
+        resumed = True
+        if cb:
+            cb.on_recovery({"phase": "pretrain",
+                            "reason": "interrupted_run",
+                            "action": "resume", "step": step,
+                            "path": str(path)})
+    if manager is not None and not resumed:
+        _save_snapshot()
+
+    def _rollback(reason: str) -> None:
+        nonlocal rollbacks_since_save
+        if manager is None or not manager.has_snapshot():
+            raise TrainingDiverged(
+                f"pre-training diverged at step {step} ({reason}) with no "
+                f"checkpoint to roll back to", attempts=guard.attempts)
+        guard.record_rollback(step, reason, optimizer.lr)
+        rollbacks_since_save += 1
+        arrays, meta, _ = manager.load_latest()
+        _restore(arrays, meta)
+        backoff = resilience.guard_config.lr_backoff
+        schedule.base_lr *= backoff ** rollbacks_since_save
+        optimizer.lr = schedule.current_lr()
+        if cb:
+            cb.on_recovery({"phase": "pretrain", "reason": reason,
+                            "action": "rollback", "step": step,
+                            "rollbacks": guard.rollbacks,
+                            "lr": optimizer.lr})
+
     with trace("pretrain", steps=recipe.steps):
-        for step in range(recipe.steps):
+        while step < recipe.steps:
             step_t0 = time.perf_counter() if cb else 0.0
             batch_idx = rng.integers(0, n, size=recipe.batch_size)
             ids = all_ids[batch_idx]
             segments = all_segments[batch_idx]
             pads = all_pads[batch_idx]
-            cls_index = int(all_cls[batch_idx][0])
 
             optimizer.zero_grad()
             if recipe.permutation_lm:
@@ -206,19 +302,35 @@ def pretrain(config: TransformerConfig, tokenizer: SubwordTokenizer,
                         coherence_logits, all_next[batch_idx])
 
             loss.backward()
+            if chaos is not None:
+                chaos.poison_gradients(step, parameters)
             grad_norm = clip_grad_norm(parameters, recipe.grad_clip)
+            if guard is not None:
+                reason = guard.check(float(loss.data), grad_norm)
+                if reason is not None:
+                    _rollback(reason)
+                    continue
+            if chaos is not None:
+                chaos.maybe_crash(step)
             lr = optimizer.lr
             optimizer.step()
             schedule.step()
             history.append(float(loss.data))
+            step += 1
             if cb:
                 seconds = time.perf_counter() - step_t0
                 cb.on_step({
-                    "phase": "pretrain", "step": step,
+                    "phase": "pretrain", "step": step - 1,
                     "loss": history[-1], "lr": lr,
                     "grad_norm": grad_norm, "seconds": seconds,
                     "examples_per_sec":
                         recipe.batch_size / max(seconds, 1e-9)})
+            if manager is not None and checkpoint_every \
+                    and step % checkpoint_every == 0:
+                _save_snapshot()
+
+    if manager is not None:
+        _save_snapshot()
 
     backbone.eval()
     head.eval()

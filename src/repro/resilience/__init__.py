@@ -1,0 +1,45 @@
+"""Fault tolerance: checkpoint/resume, divergence rollback, chaos testing.
+
+The paper's transformers reach their best EM F1 within 1-3 fine-tuning
+epochs — so a crashed or diverged run loses exactly the epochs that
+matter.  This package makes the training and matching stack survive
+faults (DESIGN.md §10):
+
+* :class:`CheckpointManager` — periodic + best-F1 snapshots with
+  retention, atomic writes, and checksum-verified loads that skip
+  corrupt files;
+* :class:`ResilienceConfig` — the single ``resilience=`` knob accepted
+  by ``fine_tune``/``pretrain``/``EntityMatcher.fit``; a resumed run is
+  bit-identical to the uninterrupted one (full optimizer/schedule/RNG
+  stream capture);
+* :class:`DivergenceGuard` — NaN/Inf and loss-spike detection before
+  the update is applied, with rollback to the last good snapshot, LR
+  backoff, and a bounded retry budget (:class:`TrainingDiverged` when
+  exhausted);
+* :class:`ChaosMonkey` — deterministic fault injection (NaN gradients,
+  mid-step crashes, checkpoint byte corruption) used by the test suite
+  to prove every recovery path fires;
+* :func:`fallback_probability` / :class:`MatchOutcome` — the
+  graceful-degradation scorer behind ``EntityMatcher.match_many``.
+
+Recovery actions surface as ``checkpoint``/``recovery`` telemetry events
+(:mod:`repro.obs`), rendered by ``repro telemetry``.
+"""
+
+from .chaos import ChaosConfig, ChaosMonkey, CrashInjected, \
+    corrupt_checkpoint
+from .checkpoint import CheckpointManager
+from .config import ResilienceConfig
+from .fallback import MatchOutcome, fallback_probability
+from .guard import DivergenceError, DivergenceGuard, GuardConfig, \
+    TrainingDiverged
+from .snapshot import pack_state, snapshot_prefixes, unpack_state
+
+__all__ = [
+    "ResilienceConfig",
+    "CheckpointManager",
+    "DivergenceGuard", "GuardConfig", "DivergenceError", "TrainingDiverged",
+    "ChaosMonkey", "ChaosConfig", "CrashInjected", "corrupt_checkpoint",
+    "MatchOutcome", "fallback_probability",
+    "pack_state", "unpack_state", "snapshot_prefixes",
+]

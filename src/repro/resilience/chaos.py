@@ -1,0 +1,117 @@
+"""Deterministic fault injection for the training loops.
+
+Every recovery path in :mod:`repro.resilience` is only trustworthy if a
+test can make the corresponding fault happen on demand.  The chaos
+harness injects three fault families, each pinned to explicit global
+step numbers so runs are reproducible:
+
+* **NaN gradients** — poisons one parameter gradient after ``backward``,
+  exercising the divergence guard's non-finite detection and rollback;
+* **mid-step crashes** — raises :class:`CrashInjected` before the
+  optimizer applies the step, simulating a process kill and exercising
+  checkpoint/resume;
+* **checkpoint corruption** — :func:`corrupt_checkpoint` flips bytes in
+  a written ``.npz``, exercising the manifest-checksum detection and the
+  fall-back-to-earlier-snapshot path.
+
+The harness only ever fires where a loop explicitly calls its hooks, so
+production runs (``chaos=None``) pay nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["CrashInjected", "ChaosConfig", "ChaosMonkey",
+           "corrupt_checkpoint"]
+
+
+class CrashInjected(RuntimeError):
+    """Raised by :class:`ChaosMonkey` to simulate a mid-step process kill.
+
+    Training loops deliberately do **not** catch it: like a real
+    ``kill -9`` it must escape to the caller, leaving only the on-disk
+    checkpoints behind.
+    """
+
+    def __init__(self, step: int):
+        super().__init__(
+            f"chaos: injected crash at global step {step} (simulated "
+            f"process kill; resume from the checkpoint directory)")
+        self.step = step
+
+
+@dataclass
+class ChaosConfig:
+    """Which faults to inject, pinned to global step numbers."""
+
+    #: Global steps whose backward pass gets a NaN-poisoned gradient.
+    nan_grad_steps: frozenset[int] = field(default_factory=frozenset)
+    #: Global steps at which the loop dies before applying the update.
+    crash_steps: frozenset[int] = field(default_factory=frozenset)
+    #: Seed for choosing which parameter/elements to poison.
+    seed: int = 0
+
+    def __post_init__(self):
+        self.nan_grad_steps = frozenset(int(s) for s in self.nan_grad_steps)
+        self.crash_steps = frozenset(int(s) for s in self.crash_steps)
+
+
+class ChaosMonkey:
+    """Applies a :class:`ChaosConfig` inside an instrumented loop.
+
+    Each fault fires at most once per configured step (a loop that rolls
+    back and replays a step is not re-poisoned — otherwise a NaN fault
+    would defeat every retry and no recovery could ever be proven).
+    """
+
+    def __init__(self, config: ChaosConfig | None = None, **kwargs):
+        self.config = config or ChaosConfig(**kwargs)
+        self._rng = np.random.default_rng(self.config.seed)
+        self._fired_nan: set[int] = set()
+        self._fired_crash: set[int] = set()
+
+    def poison_gradients(self, step: int, parameters) -> bool:
+        """NaN-poison one parameter's gradient if ``step`` is targeted."""
+        if step not in self.config.nan_grad_steps \
+                or step in self._fired_nan:
+            return False
+        self._fired_nan.add(step)
+        candidates = [p for p in parameters if p.grad is not None]
+        if not candidates:
+            return False
+        victim = candidates[int(self._rng.integers(len(candidates)))]
+        victim.grad.flat[int(self._rng.integers(victim.grad.size))] = np.nan
+        return True
+
+    def maybe_crash(self, step: int) -> None:
+        """Raise :class:`CrashInjected` if ``step`` is a crash target."""
+        if step in self.config.crash_steps \
+                and step not in self._fired_crash:
+            self._fired_crash.add(step)
+            raise CrashInjected(step)
+
+
+def corrupt_checkpoint(path: str | Path, seed: int = 0,
+                       num_bytes: int = 64) -> None:
+    """Flip ``num_bytes`` bytes in the middle of a checkpoint file.
+
+    Deterministic given ``seed``; targets the payload region (skips the
+    first and last 512 bytes so the zip end-of-central-directory record
+    survives and the corruption surfaces as a checksum/CRC failure, the
+    realistic partial-corruption case, rather than instant unreadability).
+    """
+    path = Path(path)
+    blob = bytearray(path.read_bytes())
+    if len(blob) < 2048:
+        lo, hi = 0, len(blob)
+    else:
+        lo, hi = 512, len(blob) - 512
+    rng = np.random.default_rng(seed)
+    for offset in rng.integers(lo, hi, size=min(num_bytes, hi - lo)):
+        blob[int(offset)] ^= 0xFF
+    from ..utils import atomic_write_bytes
+    atomic_write_bytes(path, bytes(blob))

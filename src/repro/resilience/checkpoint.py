@@ -1,0 +1,146 @@
+"""Checkpoint manager: periodic + best snapshots with retention.
+
+Sits on top of :mod:`repro.nn.serialization` (atomic writes, versioned
+manifest, per-array checksums) and adds run-level policy:
+
+* periodic step snapshots (``step-000123.npz``), pruned to the newest
+  ``keep_last``;
+* a ``best.npz`` refreshed whenever the tracked metric improves;
+* :meth:`load_latest`, which walks backwards past corrupt snapshots (a
+  partially written or byte-flipped file fails its manifest checksums
+  and is skipped, with the failure reported) until a verifiable one
+  loads.
+
+The manager stores opaque ``name -> array`` dicts plus JSON metadata; the
+composition of a full training snapshot (model + optimizer + schedule +
+RNG + loop counters) lives with the training loops, which know what
+their state is.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..nn import CheckpointError, load_checkpoint, save_checkpoint
+
+__all__ = ["CheckpointManager"]
+
+_STEP_PREFIX = "step-"
+_BEST_NAME = "best.npz"
+
+
+class CheckpointManager:
+    """Periodic and best-metric snapshots under one directory."""
+
+    def __init__(self, directory: str | Path, keep_last: int = 3,
+                 keep_best: bool = True):
+        if keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1, got {keep_last}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep_last = keep_last
+        self.keep_best = keep_best
+        self._best_metric: float | None = None
+        #: Corrupt snapshots skipped by the most recent :meth:`load_latest`
+        #: (``"file: reason"`` strings) — callers surface these as
+        #: recovery events.
+        self.last_skipped: list[str] = []
+
+    # -- paths ---------------------------------------------------------------
+
+    def snapshots(self) -> list[Path]:
+        """Periodic snapshot files, oldest first (by step number)."""
+        found = []
+        for path in self.directory.glob(f"{_STEP_PREFIX}*.npz"):
+            try:
+                step = int(path.stem[len(_STEP_PREFIX):])
+            except ValueError:
+                continue
+            found.append((step, path))
+        return [path for _, path in sorted(found)]
+
+    def latest(self) -> Path | None:
+        """Newest periodic snapshot, or ``None`` if none exist."""
+        snapshots = self.snapshots()
+        return snapshots[-1] if snapshots else None
+
+    def best_path(self) -> Path | None:
+        """The best-metric snapshot, if one has been written."""
+        path = self.directory / _BEST_NAME
+        return path if path.exists() else None
+
+    def has_snapshot(self) -> bool:
+        """Whether any resumable periodic snapshot exists."""
+        return bool(self.snapshots())
+
+    # -- writing -------------------------------------------------------------
+
+    def save(self, step: int, state: dict, metadata: dict,
+             best_metric: float | None = None) -> Path:
+        """Write the step snapshot; refresh ``best.npz`` when improved.
+
+        Returns the periodic snapshot path.  Retention: periodic
+        snapshots beyond ``keep_last`` are deleted oldest-first (the
+        best snapshot is never pruned).
+        """
+        metadata = dict(metadata)
+        metadata["step"] = int(step)
+        path = self.directory / f"{_STEP_PREFIX}{step:08d}.npz"
+        save_checkpoint(path, state, metadata=metadata)
+        if self.keep_best and best_metric is not None:
+            if self._best_metric is None:
+                self._load_best_metric()
+            if self._best_metric is None or best_metric > self._best_metric:
+                self._best_metric = float(best_metric)
+                metadata["best_metric"] = self._best_metric
+                save_checkpoint(self.directory / _BEST_NAME, state,
+                                metadata=metadata)
+        self._prune()
+        return path
+
+    def _load_best_metric(self) -> None:
+        path = self.directory / _BEST_NAME
+        if not path.exists():
+            return
+        try:
+            _, meta = load_checkpoint(path)
+        except CheckpointError:
+            return
+        if meta and isinstance(meta.get("best_metric"), (int, float)):
+            self._best_metric = float(meta["best_metric"])
+
+    def _prune(self) -> None:
+        snapshots = self.snapshots()
+        for stale in snapshots[:-self.keep_last]:
+            stale.unlink(missing_ok=True)
+
+    # -- reading -------------------------------------------------------------
+
+    def load(self, path: str | Path) -> tuple[dict, dict]:
+        """Load and verify one snapshot; returns (state, metadata)."""
+        state, metadata = load_checkpoint(path)
+        return state, metadata or {}
+
+    def load_latest(self) -> tuple[dict, dict, Path]:
+        """Load the newest snapshot that verifies, skipping corrupt ones.
+
+        Returns ``(state, metadata, path)``.  Raises
+        :class:`repro.nn.CheckpointError` listing every failure when no
+        snapshot is loadable.
+        """
+        snapshots = self.snapshots()
+        if not snapshots:
+            raise CheckpointError(
+                f"no snapshots to resume from in {self.directory}",
+                path=self.directory)
+        failures: list[str] = []
+        self.last_skipped = failures
+        for path in reversed(snapshots):
+            try:
+                state, metadata = self.load(path)
+                return state, metadata, path
+            except CheckpointError as exc:
+                failures.append(f"{path.name}: {exc}")
+        raise CheckpointError(
+            f"every snapshot in {self.directory} is corrupt — "
+            + "; ".join(failures), path=self.directory)

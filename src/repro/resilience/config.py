@@ -1,0 +1,58 @@
+"""The one knob object training entry points accept: ``resilience=``.
+
+``ResilienceConfig`` bundles everything fault-tolerance related so
+``fine_tune``/``pretrain``/``EntityMatcher.fit`` grow exactly one new
+parameter.  All features are opt-in: with no checkpoint directory
+nothing is written, with ``guard=False`` no divergence checks run, and
+with ``resilience=None`` the loops take their original fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .chaos import ChaosMonkey
+from .guard import GuardConfig
+
+__all__ = ["ResilienceConfig"]
+
+
+@dataclass
+class ResilienceConfig:
+    """Fault-tolerance policy for one training run."""
+
+    #: Where snapshots go; ``None`` disables checkpointing (and resume).
+    checkpoint_dir: str | Path | None = None
+    #: Snapshot every N optimizer steps (0 = epoch boundaries only).
+    checkpoint_every: int = 25
+    #: How many periodic snapshots to retain.
+    keep_last: int = 3
+    #: Track a ``best.npz`` refreshed on every eval-metric improvement.
+    keep_best: bool = True
+    #: Resume from the newest verifiable snapshot in ``checkpoint_dir``
+    #: instead of starting fresh (fresh when none exists).
+    resume: bool = False
+    #: Run the divergence guard (NaN/Inf and loss-spike detection).
+    guard: bool = True
+    #: Guard thresholds and rollback budget.
+    guard_config: GuardConfig = field(default_factory=GuardConfig)
+    #: Deterministic fault injection (tests only; ``None`` in production).
+    chaos: ChaosMonkey | None = None
+    #: Opaque launch context stored in snapshot metadata so
+    #: ``repro resume <dir>`` can rebuild the run without its original
+    #: command line.
+    run_context: dict | None = None
+
+    def wants_checkpoints(self) -> bool:
+        """Whether this config writes snapshots at all."""
+        return self.checkpoint_dir is not None
+
+    def manager(self):
+        """Build the :class:`CheckpointManager` (or ``None``)."""
+        if self.checkpoint_dir is None:
+            return None
+        from .checkpoint import CheckpointManager
+        return CheckpointManager(self.checkpoint_dir,
+                                 keep_last=self.keep_last,
+                                 keep_best=self.keep_best)

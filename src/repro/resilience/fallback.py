@@ -1,0 +1,46 @@
+"""Graceful degradation: classical-similarity fallback for matching.
+
+When the transformer path fails on one pair (corrupt input, a poisoned
+checkpoint, an encoding edge case), a bulk matching call should degrade
+— answer that pair with the :mod:`repro.baselines.similarity` scorer and
+say so — rather than abort the whole batch.  The fallback score blends
+token-set and character-level similarity of the serialized entity texts,
+the same features the Magellan baseline leans on, squashed into [0, 1]
+so it is drop-in comparable with the classifier's match probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MatchOutcome", "fallback_probability"]
+
+
+@dataclass
+class MatchOutcome:
+    """One pair's result from :meth:`EntityMatcher.match_many`.
+
+    ``degraded`` marks pairs answered by the similarity fallback after
+    the transformer path failed; ``error`` then carries the failure.
+    """
+
+    index: int
+    probability: float
+    matched: bool
+    degraded: bool = False
+    error: str | None = None
+
+
+def fallback_probability(text_a: str, text_b: str) -> float:
+    """Pseudo match probability from classical string similarity."""
+    # Imported lazily: repro.baselines pulls in repro.matching (for its
+    # metrics), which imports this package — a module-level import here
+    # would close that cycle during package initialization.
+    from ..baselines.similarity import (jaccard_tokens, jaro_winkler,
+                                        levenshtein_similarity)
+    if not text_a.strip() and not text_b.strip():
+        return 0.0
+    score = (0.5 * jaccard_tokens(text_a, text_b)
+             + 0.3 * jaro_winkler(text_a, text_b)
+             + 0.2 * levenshtein_similarity(text_a, text_b))
+    return float(min(max(score, 0.0), 1.0))

@@ -1,0 +1,98 @@
+"""Divergence detection with bounded rollback-and-retry policy.
+
+The guard watches each optimizer step *before* the update is applied:
+
+* a non-finite loss or gradient norm (the signal
+  :mod:`repro.analysis.sanitize` raises on in debug mode) is an
+  immediate divergence — catching it pre-update means NaNs never reach
+  the weights;
+* a finite loss that spikes to ``spike_factor`` times the recent median
+  is flagged once enough history exists (loss is noisy early on).
+
+On divergence the training loop rolls back to its last good snapshot,
+multiplies the learning rate by ``lr_backoff``, and replays — at most
+``max_rollbacks`` times, after which :class:`TrainingDiverged` escapes
+with the full recovery history attached.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DivergenceError", "TrainingDiverged", "GuardConfig",
+           "DivergenceGuard"]
+
+
+class DivergenceError(RuntimeError):
+    """Base class for unrecoverable divergence failures."""
+
+
+class TrainingDiverged(DivergenceError):
+    """Training kept diverging after exhausting every rollback retry."""
+
+    def __init__(self, message: str, attempts: list[dict] | None = None):
+        super().__init__(message)
+        #: One dict per rollback attempt (step, reason, lr at the time).
+        self.attempts = list(attempts or [])
+
+
+@dataclass
+class GuardConfig:
+    """Detection thresholds and retry budget."""
+
+    #: Loss must exceed ``spike_factor`` x the window median to count as
+    #: a spike (non-finite values trip regardless).
+    spike_factor: float = 25.0
+    #: Number of recent finite losses kept for the median baseline.
+    spike_window: int = 16
+    #: Spike detection stays off until this many losses are recorded.
+    min_history: int = 8
+    #: How many rollbacks to attempt before giving up.
+    max_rollbacks: int = 3
+    #: Learning-rate multiplier applied on every rollback.
+    lr_backoff: float = 0.5
+
+
+class DivergenceGuard:
+    """Per-step divergence detector (stateful over a training run)."""
+
+    def __init__(self, config: GuardConfig | None = None):
+        self.config = config or GuardConfig()
+        self._window: deque[float] = deque(maxlen=self.config.spike_window)
+        self.rollbacks = 0
+        self.attempts: list[dict] = []
+
+    def check(self, loss: float, grad_norm: float) -> str | None:
+        """Return a divergence reason, or ``None`` if the step is good.
+
+        A good step's loss joins the spike baseline; a bad step leaves
+        the baseline untouched (it will be rolled back).
+        """
+        if not np.isfinite(loss):
+            return "non_finite_loss"
+        if not np.isfinite(grad_norm):
+            return "non_finite_gradient"
+        if len(self._window) >= self.config.min_history:
+            baseline = float(np.median(self._window))
+            if baseline > 0.0 and loss > self.config.spike_factor * baseline:
+                return "loss_spike"
+        self._window.append(float(loss))
+        return None
+
+    def record_rollback(self, step: int, reason: str, lr: float) -> None:
+        """Count a rollback; raise when the retry budget is exhausted.
+
+        Also resets the spike baseline — the replayed steps re-fill it.
+        """
+        self.rollbacks += 1
+        self.attempts.append({"step": int(step), "reason": reason,
+                              "lr": float(lr)})
+        self._window.clear()
+        if self.rollbacks > self.config.max_rollbacks:
+            raise TrainingDiverged(
+                f"training diverged {self.rollbacks} times (budget "
+                f"{self.config.max_rollbacks}); last failure at step "
+                f"{step} ({reason})", attempts=self.attempts)

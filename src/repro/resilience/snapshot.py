@@ -1,0 +1,33 @@
+"""Flat-namespace packing of composite training state.
+
+A full training snapshot is several state dicts (model, optimizer,
+schedule) plus loop arrays, flattened into one ``name -> array`` dict
+with ``/``-separated prefixes (``model/encoder.0.w``, ``optim/m.3``,
+``loop/order``) so it fits the plain-``.npz`` checkpoint format and its
+manifest covers every component with one checksum table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pack_state", "unpack_state", "snapshot_prefixes"]
+
+
+def pack_state(arrays: dict, prefix: str, state: dict) -> dict:
+    """Merge ``state`` into ``arrays`` under ``prefix/``; returns ``arrays``."""
+    for name, value in state.items():
+        arrays[f"{prefix}/{name}"] = np.asarray(value)
+    return arrays
+
+
+def unpack_state(arrays: dict, prefix: str) -> dict:
+    """The sub-dict of ``arrays`` stored under ``prefix/``, unprefixed."""
+    marker = prefix + "/"
+    return {name[len(marker):]: value for name, value in arrays.items()
+            if name.startswith(marker)}
+
+
+def snapshot_prefixes(arrays: dict) -> list[str]:
+    """The sorted top-level prefixes present in a packed snapshot."""
+    return sorted({name.split("/", 1)[0] for name in arrays if "/" in name})

@@ -105,7 +105,8 @@ class Vocab:
             },
             "tokens": self._id_to_token,
         }
-        Path(path).write_text(json.dumps(payload))
+        from ..utils import atomic_write_text
+        atomic_write_text(path, json.dumps(payload))
 
     @staticmethod
     def load(path: str | Path) -> "Vocab":

@@ -4,12 +4,14 @@
 re-exported here for backwards compatibility.
 """
 
-from .rng import child_rng, spawn_seeds
+from .atomic import atomic_write_bytes, atomic_write_text
+from .rng import child_rng, get_rng_state, set_rng_state, spawn_seeds
 # render must be imported before timer: timer pulls in repro.obs, whose
 # report module imports repro.utils.render while this package is still
 # initializing.
 from .render import format_table, format_series
 from .timer import Timer, format_duration
 
-__all__ = ["child_rng", "spawn_seeds", "Timer", "format_duration",
-           "format_table", "format_series"]
+__all__ = ["child_rng", "spawn_seeds", "get_rng_state", "set_rng_state",
+           "atomic_write_text", "atomic_write_bytes",
+           "Timer", "format_duration", "format_table", "format_series"]

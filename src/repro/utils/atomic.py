@@ -1,0 +1,35 @@
+"""Atomic file writes for on-disk artifacts.
+
+A crash (or injected fault) in the middle of a plain ``open(...,
+"w")``/``write_text`` leaves a truncated file that poisons the next run.
+Every artifact writer in the repo — checkpoints, tokenizer payloads,
+dataset CSVs, experiment caches — routes through the temp-file +
+``os.replace`` pattern instead, so readers only ever observe either the
+old complete file or the new complete file.  Lint rule RA109
+(:mod:`repro.analysis.lint`) enforces the pattern.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_text", "atomic_write_bytes"]
+
+
+def atomic_write_bytes(path: str | Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (temp + ``os.replace``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def atomic_write_text(path: str | Path, text: str,
+                      encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (temp + ``os.replace``)."""
+    atomic_write_bytes(path, text.encode(encoding))

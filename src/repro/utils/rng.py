@@ -7,9 +7,11 @@ component's consumption pattern does not perturb the others.
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 
-__all__ = ["child_rng", "spawn_seeds"]
+__all__ = ["child_rng", "spawn_seeds", "get_rng_state", "set_rng_state"]
 
 
 def child_rng(seed: int, *scope: str | int) -> np.random.Generator:
@@ -26,3 +28,25 @@ def spawn_seeds(seed: int, count: int) -> list[int]:
     """``count`` independent 32-bit seeds derived from ``seed``."""
     rng = np.random.default_rng(seed)
     return [int(s) for s in rng.integers(0, 2 ** 31 - 1, size=count)]
+
+
+def get_rng_state(rng: np.random.Generator) -> dict:
+    """JSON-serializable snapshot of a generator's stream position.
+
+    Restoring it with :func:`set_rng_state` makes the generator produce
+    exactly the draws it would have produced from this point — the basis
+    of bit-identical checkpoint/resume in :mod:`repro.resilience`.
+    """
+    state = rng.bit_generator.state
+    return json.loads(json.dumps(state, default=int))
+
+
+def set_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a stream position captured by :func:`get_rng_state`."""
+    expected = rng.bit_generator.state.get("bit_generator")
+    provided = state.get("bit_generator")
+    if provided != expected:
+        raise ValueError(
+            f"RNG state is for bit generator {provided!r}, but this "
+            f"generator uses {expected!r}")
+    rng.bit_generator.state = state

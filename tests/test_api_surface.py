@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.obs",
     "repro.utils",
     "repro.analysis",
+    "repro.resilience",
 ]
 
 
