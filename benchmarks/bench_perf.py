@@ -1,0 +1,111 @@
+"""Inference throughput — the fused no-tape fast path must pay off.
+
+Times ``match_many`` for every architecture two ways on the same
+workload (dblp-acm record pairs, each unique pair matched twice so the
+tokenization cache sees repeats):
+
+1. baseline — serial per-pair matching, fused kernels off, no cache:
+   the pre-optimization path;
+2. fast — length-bucketed batches + fused no-tape kernels + cache.
+
+The acceptance floor (BERT fast path >= 2x baseline pairs/sec) is
+enforced on full runs and recorded in ``BENCH_perf.json`` at the repo
+root; ``--smoke`` runs a few pairs only to validate plumbing and the
+report schema.  Decisions must agree between both paths — a speedup
+that changes answers is a bug, not an optimization.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.perf import (SPEEDUP_THRESHOLD, run_perf_benchmark,
+                        validate_report, write_report)
+
+from _shared import emit, run_once
+
+REPORT_PATH = Path(__file__).parent.parent / "BENCH_perf.json"
+
+
+def _format_report(report: dict) -> str:
+    lines = [f"match_many throughput "
+             f"({report['config']['pairs']} pairs, batch size "
+             f"{report['config']['batch_size']}"
+             f"{', smoke' if report['smoke'] else ''})"]
+    for arch, entry in report["architectures"].items():
+        cache = entry["cache"]
+        lines.append(
+            f"  {arch:<10} {entry['baseline_pairs_per_sec']:8.1f} -> "
+            f"{entry['fast_pairs_per_sec']:8.1f} pairs/s  "
+            f"({entry['speedup']:.2f}x, cache hit rate "
+            f"{cache['hit_rate']:.2f}, decisions "
+            f"{'ok' if entry['decisions_consistent'] else 'DIVERGED'})")
+    acc = report["acceptance"]
+    lines.append(f"  acceptance: bert {acc['bert_speedup']:.2f}x vs "
+                 f"{acc['threshold']}x floor -> "
+                 f"{'pass' if acc['passed'] else 'FAIL'}"
+                 f"{'' if acc['enforced'] else ' (not enforced: smoke)'}")
+    return "\n".join(lines)
+
+
+def _run(smoke: bool, pairs: int, write, archs=None,
+         zoo_dir=None) -> dict:
+    kwargs = {} if archs is None else {"archs": archs}
+    if zoo_dir is not None:
+        report = run_perf_benchmark(num_pairs=pairs, smoke=smoke,
+                                    zoo_dir=zoo_dir, **kwargs)
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            report = run_perf_benchmark(num_pairs=pairs, smoke=smoke,
+                                        zoo_dir=Path(tmp) / "zoo",
+                                        **kwargs)
+    problems = validate_report(report)
+    if problems:
+        raise AssertionError(f"invalid BENCH_perf report: {problems}")
+    if write:
+        write_report(report, write if write is not True else REPORT_PATH)
+    return report
+
+
+def test_perf_throughput(benchmark):
+    report = run_once(benchmark, lambda: _run(smoke=False, pairs=200,
+                                              write=True))
+    emit("perf", _format_report(report))
+    assert all(e["decisions_consistent"]
+               for e in report["architectures"].values())
+    assert report["acceptance"]["bert_speedup"] >= SPEEDUP_THRESHOLD
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="match_many throughput: serial vs. fused/bucketed")
+    parser.add_argument("--smoke", action="store_true",
+                        help="few pairs, schema check only (CI)")
+    parser.add_argument("--pairs", type=int, default=200)
+    parser.add_argument("--archs", default=None,
+                        help="comma-separated subset of architectures "
+                             "(default: all four)")
+    parser.add_argument("--zoo-dir", default=None,
+                        help="model-zoo cache directory (default: a "
+                             "throwaway temp dir)")
+    parser.add_argument("--output", default=None,
+                        help=f"report path (default: {REPORT_PATH})")
+    parser.add_argument("--no-write", dest="write", action="store_false",
+                        help="skip writing the report")
+    args = parser.parse_args(argv)
+    archs = tuple(args.archs.split(",")) if args.archs else None
+    write = (args.output or True) if args.write else False
+    report = _run(smoke=args.smoke, pairs=args.pairs, write=write,
+                  archs=archs, zoo_dir=args.zoo_dir)
+    print(_format_report(report))
+    if args.write:
+        print(f"report written to {args.output or REPORT_PATH}")
+    acc = report["acceptance"]
+    return 0 if (acc["passed"] or not acc["enforced"]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

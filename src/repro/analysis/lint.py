@@ -27,6 +27,8 @@ RA108  legacy-global-rng              ``np.random.<fn>`` global-state calls
 RA109  non-atomic-artifact-write      save/write/dump functions that truncate
                                       the destination in place instead of the
                                       tmp-file + ``os.replace`` pattern
+RA110  forward-outside-no-grad        match/eval/bench drivers that call a
+                                      model forward directly with the tape on
 ====== ============================== ==========================================
 
 Usage::
@@ -590,6 +592,84 @@ class _NonAtomicArtifactWrite(LintRule):
                 yield node
 
 
+class _ForwardOutsideNoGrad(LintRule):
+    """Batch-inference drivers (match loops, eval sweeps, benchmarks)
+    that call a model forward directly with the tape enabled record a
+    backward closure per op per pair — and they also miss the fused
+    no-tape kernels, which only activate under ``no_grad`` /
+    ``inference_mode``.  RA104 covers predict/infer-*named* entry
+    points; this rule covers the driver loops around them."""
+
+    id = "RA110"
+    name = "forward-outside-no-grad"
+    hint = ("wrap the forward calls in `with no_grad():` or "
+            "`with inference_mode():` (gradients are never needed on "
+            "an inference path, and the fused kernels need the tape "
+            "off)")
+
+    _PATTERN = re.compile(r"match|eval|bench", re.IGNORECASE)
+    #: Receivers that are, by repo convention, callable models.
+    _MODEL_NAMES = frozenset(
+        {"classifier", "model", "backbone", "encoder", "network"})
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if not module.imports_nn() or module.in_package("repro.nn"):
+            return
+        candidates: dict[str, ast.FunctionDef] = {}
+        for node in ast.walk(module.tree):
+            if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and self._PATTERN.search(node.name)
+                    and not node.name.startswith("__")):
+                candidates[node.name] = node
+        safe = {name for name, node in candidates.items()
+                if self._disables_tape(node)}
+        # Delegation closure, like RA104: match_many() dispatching to a
+        # _match_many_fast() that runs under no_grad is fine.
+        changed = True
+        while changed:
+            changed = False
+            for name, node in candidates.items():
+                if name in safe:
+                    continue
+                callees = _InferenceMissingNoGrad._called_names(node)
+                if any(callee in safe for callee in callees):
+                    safe.add(name)
+                    changed = True
+        for name, node in candidates.items():
+            if name in safe:
+                continue
+            for call in self._forward_calls(node):
+                yield self.violation(
+                    module, call,
+                    f"{name}() drives a model forward with the tape "
+                    f"enabled — each pair records backward closures and "
+                    f"skips the fused no-tape kernels")
+
+    @staticmethod
+    def _disables_tape(func: ast.AST) -> bool:
+        for node in ast.walk(func):
+            if (isinstance(node, ast.Name)
+                    and node.id in ("no_grad", "inference_mode")):
+                return True
+            if (isinstance(node, ast.Attribute)
+                    and node.attr in ("no_grad", "inference_mode")):
+                return True
+        return False
+
+    def _forward_calls(self, func: ast.AST) -> Iterator[ast.Call]:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if isinstance(callee, ast.Attribute):
+                if (callee.attr == "forward"
+                        or callee.attr in self._MODEL_NAMES):
+                    yield node
+            elif (isinstance(callee, ast.Name)
+                  and callee.id in self._MODEL_NAMES):
+                yield node
+
+
 _RULES: tuple[LintRule, ...] = (
     _TensorDataNumpyCall(),
     _HardCodedFloatDtype(),
@@ -600,6 +680,7 @@ _RULES: tuple[LintRule, ...] = (
     _AllExportDrift(),
     _LegacyGlobalRng(),
     _NonAtomicArtifactWrite(),
+    _ForwardOutsideNoGrad(),
 )
 
 

@@ -27,6 +27,9 @@ Commands
     Run the repo-specific static analysis rules over source paths.
 ``audit``
     Report gradcheck/test coverage of Tensor ops and Module subclasses.
+``bench``
+    Run a benchmark suite; ``bench perf`` measures serial vs. fast
+    ``match_many`` throughput and writes ``BENCH_perf.json``.
 """
 
 from __future__ import annotations
@@ -91,6 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="resume from the newest snapshot in "
                         "--checkpoint-dir instead of starting fresh")
+    p.add_argument("--no-fast", dest="fast", action="store_false",
+                   help="disable the fused no-tape inference kernels "
+                        "(evaluation falls back to op-by-op forwards; "
+                        "useful for A/B-checking the fast path)")
 
     p = sub.add_parser("resume",
                        help="continue an interrupted `match "
@@ -130,6 +137,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="test-suite directory to cross-reference")
     p.add_argument("--strict", action="store_true",
                    help="exit non-zero if any op or module is uncovered")
+
+    p = sub.add_parser("bench", help="run a benchmark suite")
+    p.add_argument("suite", choices=["perf"],
+                   help="perf: serial vs. fast match_many throughput")
+    p.add_argument("--smoke", action="store_true",
+                   help="few pairs, no acceptance enforcement (CI)")
+    p.add_argument("--pairs", type=int, default=200,
+                   help="number of record pairs to match (default 200)")
+    p.add_argument("--batch-size", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default="BENCH_perf.json",
+                   help="report path (default: BENCH_perf.json)")
+    p.add_argument("--zoo-dir", default=None,
+                   help="model-zoo cache directory (default: "
+                        "REPRO_ZOO_DIR or ~/.cache/repro/zoo)")
 
     return parser
 
@@ -171,8 +193,11 @@ def _smoke_zoo_settings():
 def _run_match(arch: str, dataset: str, scale: float, epochs: int,
                seed: int, smoke: bool, zoo_dir, telemetry,
                checkpoint_dir=None, checkpoint_every: int = 25,
-               resume: bool = False) -> int:
+               resume: bool = False, fast: bool = True) -> int:
+    import contextlib
+
     from .matching import EntityMatcher, FineTuneConfig
+    from .nn import fused_kernels
     data = load_benchmark(dataset, seed=seed, scale=scale)
     splits = split_dataset(data, child_rng(seed, "split"))
     matcher = EntityMatcher(
@@ -202,9 +227,13 @@ def _run_match(arch: str, dataset: str, scale: float, epochs: int,
                          "dataset": dataset, "scale": scale,
                          "epochs": epochs, "seed": seed, "smoke": smoke})
 
-    matcher.fit(splits.train, splits.test, log=print, callbacks=callbacks,
-                resilience=resilience)
-    metrics = matcher.evaluate(splits.test).as_percent()
+    # --no-fast: run every forward op-by-op (training is unaffected —
+    # the fused kernels only ever activate with the tape off).
+    guard = fused_kernels(False) if not fast else contextlib.nullcontext()
+    with guard:
+        matcher.fit(splits.train, splits.test, log=print,
+                    callbacks=callbacks, resilience=resilience)
+        metrics = matcher.evaluate(splits.test).as_percent()
     print(f"\n{arch} on {data.name}: F1 {metrics.f1:.1f} "
           f"(P {metrics.precision:.1f} / R {metrics.recall:.1f})")
     if run is not None:
@@ -218,7 +247,7 @@ def _cmd_match(args) -> int:
                       args.seed, args.smoke, args.zoo_dir, args.telemetry,
                       checkpoint_dir=args.checkpoint_dir,
                       checkpoint_every=args.checkpoint_every,
-                      resume=args.resume)
+                      resume=args.resume, fast=args.fast)
 
 
 def _cmd_resume(args) -> int:
@@ -311,6 +340,34 @@ def _cmd_audit(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .perf import (SPEEDUP_THRESHOLD, run_perf_benchmark,
+                       validate_report, write_report)
+    report = run_perf_benchmark(num_pairs=args.pairs, seed=args.seed,
+                                zoo_dir=args.zoo_dir,
+                                batch_size=args.batch_size,
+                                smoke=args.smoke)
+    problems = validate_report(report)
+    if problems:
+        for problem in problems:
+            print(f"error: invalid report: {problem}", file=sys.stderr)
+        return 2
+    path = write_report(report, args.output)
+    for arch, entry in report["architectures"].items():
+        print(f"{arch}: {entry['baseline_pairs_per_sec']:.1f} -> "
+              f"{entry['fast_pairs_per_sec']:.1f} pairs/sec "
+              f"({entry['speedup']:.2f}x, cache hit rate "
+              f"{entry['cache']['hit_rate']:.2f})")
+    acceptance = report["acceptance"]
+    print(f"report written to {path}")
+    if acceptance["enforced"] and not acceptance["passed"]:
+        print(f"error: bert speedup {acceptance['bert_speedup']:.2f}x "
+              f"below the {SPEEDUP_THRESHOLD}x acceptance floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "generate": _cmd_generate,
@@ -322,6 +379,7 @@ _COMMANDS = {
     "telemetry": _cmd_telemetry,
     "lint": _cmd_lint,
     "audit": _cmd_audit,
+    "bench": _cmd_bench,
 }
 
 

@@ -8,7 +8,7 @@ from .finetune import (EpochRecord, FineTuneConfig, FineTuneResult,
 from .metrics import (MatchingMetrics, confusion_matrix,
                       evaluate_predictions, f1_score)
 from .serializer import (EncodedPairs, choose_max_length, encode_dataset,
-                         pair_texts, uniform_cls_index)
+                         iter_bucketed, pair_texts, uniform_cls_index)
 
 __all__ = [
     "EntityMatcher",
@@ -19,5 +19,5 @@ __all__ = [
     "MatchingMetrics", "evaluate_predictions", "f1_score",
     "confusion_matrix",
     "pair_texts", "choose_max_length", "encode_dataset", "EncodedPairs",
-    "uniform_cls_index",
+    "uniform_cls_index", "iter_bucketed",
 ]

@@ -13,18 +13,22 @@ The one-stop interface a downstream user adopts::
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..data import EMDataset, EntityPair, Record
 from ..models import ARCHITECTURES
 from ..nn import no_grad
-from ..obs import CallbackList
+from ..obs import CallbackList, default_registry
+from ..perf import TokenizationCache, ensure_token_cache
 from ..pretraining import PretrainedModel, ZooSettings, get_pretrained
 from ..resilience import (MatchOutcome, ResilienceConfig,
                           fallback_probability)
 from .finetune import FineTuneConfig, FineTuneResult, fine_tune
 from .metrics import MatchingMetrics
-from .serializer import encode_dataset, pair_texts, uniform_cls_index
+from .serializer import (EncodedPairs, encode_dataset, iter_bucketed,
+                         pair_texts, uniform_cls_index)
 
 __all__ = ["EntityMatcher"]
 
@@ -104,24 +108,41 @@ class EntityMatcher:
             raise RuntimeError("call fit() before predicting")
         return self._result
 
+    def ensure_token_cache(self, maxsize: int = 4096) -> TokenizationCache:
+        """Attach (once) and return this matcher's tokenization cache.
+
+        The cache lives on the tokenizer instance, so repeated records
+        across ``predict``/``match_many`` calls — the dominant shape of
+        EM candidate sets — hit instead of re-tokenizing.  Hit/miss
+        counters land in ``repro.obs`` under ``perf.token_cache.*``.
+        """
+        return ensure_token_cache(self.pretrained.tokenizer,
+                                  maxsize=maxsize)
+
     def predict(self, dataset: EMDataset,
                 batch_size: int = 64) -> np.ndarray:
-        """Binary match predictions for every pair of ``dataset``."""
+        """Binary match predictions for every pair of ``dataset``.
+
+        Batches are length-bucketed (see
+        :func:`repro.matching.serializer.iter_bucketed`): sequences run
+        sorted by real token count and right-padded batches are trimmed
+        to their own longest member, so the cost of a batch tracks its
+        content, not the global ``max_length``.
+        """
         result = self._require_fitted()
+        self.ensure_token_cache()
         encoded = encode_dataset(dataset, self.pretrained.tokenizer,
                                  result.max_length)
         result.classifier.eval()
-        outputs = []
+        predictions = np.zeros(len(encoded), dtype=np.int64)
         with no_grad():
-            for start in range(0, len(encoded), batch_size):
-                batch = encoded.batch(np.arange(
-                    start, min(start + batch_size, len(encoded))))
+            for indices, batch in iter_bucketed(encoded, batch_size):
                 logits = result.classifier(
                     batch.input_ids, segment_ids=batch.segment_ids,
                     pad_mask=batch.pad_masks,
                     cls_index=uniform_cls_index(batch.cls_indices))
-                outputs.append(logits.numpy().argmax(axis=-1))
-        return np.concatenate(outputs) if outputs else np.array([])
+                predictions[indices] = logits.numpy().argmax(axis=-1)
+        return predictions
 
     def evaluate(self, dataset: EMDataset) -> MatchingMetrics:
         """Precision/recall/F1 on a labeled dataset."""
@@ -166,7 +187,8 @@ class EntityMatcher:
 
     def match_many(self, pairs, threshold: float = 0.5,
                    fallback: bool = True,
-                   callbacks=None) -> list[MatchOutcome]:
+                   callbacks=None, fast: bool | None = None,
+                   batch_size: int = 64) -> list[MatchOutcome]:
         """Match a batch of ``(entity_a, entity_b)`` pairs, isolating
         per-pair failures.
 
@@ -177,9 +199,29 @@ class EntityMatcher:
         comes back as a non-match with ``probability=0.0``.  Degraded
         pairs surface as ``recovery`` telemetry events through
         ``callbacks``.
+
+        ``fast`` selects the length-bucketed batched engine (tokenize
+        once through the LRU cache, forward in per-bucket-padded batches
+        of ``batch_size``); ``fast=False`` forces the serial per-pair
+        path.  The default (None) uses the fast engine unless
+        ``match_probability`` has been overridden on this *instance*
+        (the scoring hook the serial path honors).  Isolation semantics
+        are identical on both paths: an encode failure degrades that
+        pair immediately; a batch forward failure retries each member
+        individually before degrading the ones that still fail.
         """
         self._require_fitted()
+        if fast is None:
+            fast = "match_probability" not in self.__dict__
         cb = CallbackList.resolve(callbacks, None)
+        pairs = list(pairs)
+        if not fast:
+            return self._match_many_serial(pairs, threshold, fallback, cb)
+        return self._match_many_fast(pairs, threshold, fallback, cb,
+                                     batch_size)
+
+    def _match_many_serial(self, pairs, threshold: float, fallback: bool,
+                           cb) -> list[MatchOutcome]:
         outcomes: list[MatchOutcome] = []
         for index, (entity_a, entity_b) in enumerate(pairs):
             try:
@@ -190,21 +232,117 @@ class EntityMatcher:
                 continue
             except Exception as exc:  # noqa: BLE001 — isolation point
                 error = f"{type(exc).__name__}: {exc}"
-            probability = 0.0
-            if fallback:
-                try:
-                    text_a, text_b = self._pair_texts(entity_a, entity_b)
-                    probability = fallback_probability(text_a, text_b)
-                except Exception as exc:  # noqa: BLE001
-                    error += f"; fallback failed too ({exc})"
-            outcomes.append(MatchOutcome(
-                index=index, probability=probability,
-                matched=fallback and probability >= threshold,
-                degraded=True, error=error))
-            if cb:
-                cb.on_recovery({
-                    "phase": "match", "reason": "pair_failure",
-                    "action": ("similarity_fallback" if fallback
-                               else "skipped"),
-                    "index": index, "error": error})
+            outcomes.append(self._degraded_outcome(
+                index, entity_a, entity_b, error, threshold, fallback, cb))
         return outcomes
+
+    def _degraded_outcome(self, index: int, entity_a, entity_b,
+                          error: str, threshold: float, fallback: bool,
+                          cb) -> MatchOutcome:
+        """A fallback-scored (or skipped) outcome plus its telemetry."""
+        probability = 0.0
+        if fallback:
+            try:
+                text_a, text_b = self._pair_texts(entity_a, entity_b)
+                probability = fallback_probability(text_a, text_b)
+            except Exception as exc:  # noqa: BLE001
+                error += f"; fallback failed too ({exc})"
+        if cb:
+            cb.on_recovery({
+                "phase": "match", "reason": "pair_failure",
+                "action": ("similarity_fallback" if fallback
+                           else "skipped"),
+                "index": index, "error": error})
+        return MatchOutcome(
+            index=index, probability=probability,
+            matched=fallback and probability >= threshold,
+            degraded=True, error=error)
+
+    def _match_many_fast(self, pairs, threshold: float, fallback: bool,
+                         cb, batch_size: int) -> list[MatchOutcome]:
+        """Bucketed batch engine behind :meth:`match_many`."""
+        result = self._require_fitted()
+        self.ensure_token_cache()
+        tokenizer = self.pretrained.tokenizer
+        outcomes: list[MatchOutcome | None] = [None] * len(pairs)
+
+        encode_t0 = time.perf_counter()
+        kept: list[int] = []          # original pair index per encoded row
+        encodings = []
+        for index, (entity_a, entity_b) in enumerate(pairs):
+            try:
+                text_a, text_b = self._pair_texts(entity_a, entity_b)
+                enc = tokenizer.encode_pair(text_a, text_b,
+                                            max_length=result.max_length)
+            except Exception as exc:  # noqa: BLE001 — isolation point
+                outcomes[index] = self._degraded_outcome(
+                    index, entity_a, entity_b,
+                    f"{type(exc).__name__}: {exc}", threshold, fallback,
+                    cb)
+                continue
+            kept.append(index)
+            encodings.append(enc)
+        encode_seconds = time.perf_counter() - encode_t0
+
+        forward_t0 = time.perf_counter()
+        if encodings:
+            encoded = EncodedPairs(
+                np.stack([e.input_ids for e in encodings]),
+                np.stack([e.segment_ids for e in encodings]),
+                np.stack([e.pad_mask for e in encodings]),
+                np.asarray([e.cls_index for e in encodings]),
+                np.zeros(len(encodings), dtype=np.int64))
+            classifier = result.classifier
+            classifier.eval()
+            with no_grad():
+                for rows, batch in iter_bucketed(encoded, batch_size):
+                    try:
+                        probs = classifier.predict_proba(
+                            batch.input_ids,
+                            segment_ids=batch.segment_ids,
+                            pad_mask=batch.pad_masks,
+                            cls_index=uniform_cls_index(
+                                batch.cls_indices))[:, 1]
+                    except Exception:  # noqa: BLE001 — isolation point
+                        self._retry_rows(rows, kept, encodings, pairs,
+                                         outcomes, threshold, fallback,
+                                         cb)
+                        continue
+                    for row, probability in zip(rows, probs):
+                        index = kept[int(row)]
+                        outcomes[index] = MatchOutcome(
+                            index=index, probability=float(probability),
+                            matched=float(probability) >= threshold)
+        forward_seconds = time.perf_counter() - forward_t0
+
+        registry = default_registry()
+        registry.gauge("perf.match.encode_seconds").set(encode_seconds)
+        registry.gauge("perf.match.forward_seconds").set(forward_seconds)
+        registry.counter("perf.match.pairs").inc(len(pairs))
+        return outcomes
+
+    def _retry_rows(self, rows, kept, encodings, pairs, outcomes,
+                    threshold: float, fallback: bool, cb) -> None:
+        """A bucket forward failed: re-run its members one by one, so a
+        single poisoned pair cannot take down its batch neighbors."""
+        classifier = self._require_fitted().classifier
+        for row in rows:
+            index = kept[int(row)]
+            enc = encodings[int(row)]
+            try:
+                probs = classifier.predict_proba(
+                    enc.input_ids[None, :],
+                    segment_ids=enc.segment_ids[None, :],
+                    pad_mask=enc.pad_mask[None, :],
+                    cls_index=enc.cls_index)
+                probability = float(probs[0, 1])
+            except Exception as exc:  # noqa: BLE001 — isolation point
+                entity_a, entity_b = pairs[index]
+                outcomes[index] = self._degraded_outcome(
+                    index, entity_a, entity_b,
+                    f"{type(exc).__name__}: {exc}", threshold, fallback,
+                    cb)
+                continue
+            outcomes[index] = MatchOutcome(
+                index=index, probability=probability,
+                matched=probability >= threshold)

@@ -40,8 +40,9 @@ from ..resilience import (ResilienceConfig, DivergenceGuard,
                           TrainingDiverged, pack_state, unpack_state)
 from ..utils import child_rng, get_rng_state, set_rng_state
 from .metrics import MatchingMetrics, evaluate_predictions
+from ..perf import ensure_token_cache
 from .serializer import (EncodedPairs, choose_max_length, encode_dataset,
-                         uniform_cls_index)
+                         iter_bucketed, uniform_cls_index)
 
 __all__ = ["FineTuneConfig", "EpochRecord", "FineTuneResult", "fine_tune",
            "evaluate_classifier"]
@@ -109,17 +110,18 @@ class FineTuneResult:
 
 def _predict(classifier: SequenceClassifier, encoded: EncodedPairs,
              batch_size: int) -> np.ndarray:
-    predictions = []
+    # Length-bucketed evaluation: batches run sorted by real token count
+    # with right-padded batches trimmed to their own max (iter_bucketed);
+    # results are scattered back into input order.
+    predictions = np.zeros(len(encoded), dtype=np.int64)
     with no_grad():
-        for start in range(0, len(encoded), batch_size):
-            batch = encoded.batch(np.arange(
-                start, min(start + batch_size, len(encoded))))
+        for indices, batch in iter_bucketed(encoded, batch_size):
             logits = classifier(
                 batch.input_ids, segment_ids=batch.segment_ids,
                 pad_mask=batch.pad_masks,
                 cls_index=uniform_cls_index(batch.cls_indices))
-            predictions.append(logits.numpy().argmax(axis=-1))
-    return np.concatenate(predictions) if predictions else np.array([])
+            predictions[indices] = logits.numpy().argmax(axis=-1)
+    return predictions
 
 
 def evaluate_classifier(classifier: SequenceClassifier,
@@ -199,6 +201,9 @@ def fine_tune(pretrained: PretrainedModel, train: EMDataset,
         backbone.special_token_ids = pretrained.tokenizer.vocab.special_ids()
         backbone.load_state_dict(pretrained.backbone.state_dict())
         classifier = SequenceClassifier(backbone, pretrained.config, rng)
+        # Memoize text -> ids across choose_max_length + both encodes
+        # (every record is tokenized several times otherwise).
+        ensure_token_cache(pretrained.tokenizer)
         max_length = choose_max_length(train, pretrained.tokenizer,
                                        cap=min(config.max_length_cap,
                                                pretrained.config.max_position))

@@ -13,10 +13,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..data import EMDataset, EntityPair
+from ..perf import is_left_padded, plan_buckets, real_lengths
 from ..tokenizers import Encoding, SubwordTokenizer
 
 __all__ = ["pair_texts", "choose_max_length", "encode_dataset",
-           "EncodedPairs", "uniform_cls_index"]
+           "EncodedPairs", "uniform_cls_index", "iter_bucketed"]
 
 
 def uniform_cls_index(cls_indices: np.ndarray) -> int:
@@ -89,6 +90,33 @@ class EncodedPairs:
             self.input_ids[indices], self.segment_ids[indices],
             self.pad_masks[indices], self.cls_indices[indices],
             self.labels[indices])
+
+
+def iter_bucketed(encoded: EncodedPairs, batch_size: int):
+    """Yield ``(indices, batch)`` in length-bucketed order.
+
+    Sequences are sorted by real token count and chunked into batches;
+    right-padded batches (BERT-style) are trimmed to their own longest
+    member, so short pairs run short forward passes.  Left-padded
+    batches (XLNet) keep full length — the relative-position table is a
+    function of the padded length, so trimming would change logits (see
+    :mod:`repro.perf.bucketing`).  ``indices`` maps each batch row back
+    to its position in ``encoded``; concatenating all index arrays is a
+    permutation of ``range(len(encoded))``.
+    """
+    if len(encoded) == 0:
+        return
+    left_padded = is_left_padded(encoded.pad_masks)
+    lengths = real_lengths(encoded.pad_masks)
+    for indices in plan_buckets(lengths, batch_size):
+        batch = encoded.batch(indices)
+        if not left_padded:
+            limit = max(int(lengths[indices].max()), 1)
+            batch = EncodedPairs(
+                batch.input_ids[:, :limit], batch.segment_ids[:, :limit],
+                batch.pad_masks[:, :limit], batch.cls_indices,
+                batch.labels)
+        yield indices, batch
 
 
 def encode_dataset(dataset: EMDataset, tokenizer: SubwordTokenizer,

@@ -7,7 +7,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn import (DTYPE, Dropout, LayerNorm, Linear, Module, ModuleList,
-                  MultiHeadAttention, Tensor)
+                  MultiHeadAttention, Tensor, fused, is_fused_enabled)
 from .config import TransformerConfig
 
 __all__ = ["TransformerEncoderLayer", "TransformerEncoder",
@@ -123,6 +123,10 @@ class TransformerEncoderLayer(Module):
     def forward(self, hidden: Tensor,
                 attention_mask: np.ndarray | None = None,
                 match_scores: np.ndarray | None = None) -> Tensor:
+        if is_fused_enabled():
+            return Tensor(self.fused_forward(hidden.data,
+                                             attention_mask=attention_mask,
+                                             match_scores=match_scores))
         if self.pre_norm:
             attended = self.attention(self.attn_norm(hidden),
                                       attention_mask=attention_mask,
@@ -136,6 +140,40 @@ class TransformerEncoderLayer(Module):
         hidden = self.attn_norm(hidden + self.dropout(attended))
         transformed = self.ff_out(self.ff_in(hidden).gelu())
         return self.ff_norm(hidden + self.dropout(transformed))
+
+    def fused_forward(self, hidden: np.ndarray,
+                      attention_mask: np.ndarray | None = None,
+                      match_scores: np.ndarray | None = None) -> np.ndarray:
+        """No-tape array path for the whole block, bit-identical to
+        :meth:`forward` (dropout is identity while the tape is off)."""
+        if self.pre_norm:
+            normed = fused.layer_norm(hidden, self.attn_norm.weight.data,
+                                      self.attn_norm.bias.data,
+                                      eps=self.attn_norm.eps)
+            attended = self.attention.fused_forward(
+                normed, normed, normed, attention_mask=attention_mask,
+                match_scores=match_scores)
+            hidden = hidden + attended
+            normed = fused.layer_norm(hidden, self.ff_norm.weight.data,
+                                      self.ff_norm.bias.data,
+                                      eps=self.ff_norm.eps)
+            return hidden + fused.feed_forward(
+                normed, self.ff_in.weight.data, self.ff_in.bias.data,
+                self.ff_out.weight.data, self.ff_out.bias.data)
+        attended = self.attention.fused_forward(
+            hidden, hidden, hidden, attention_mask=attention_mask,
+            match_scores=match_scores)
+        hidden = fused.layer_norm(hidden + attended,
+                                  self.attn_norm.weight.data,
+                                  self.attn_norm.bias.data,
+                                  eps=self.attn_norm.eps)
+        transformed = fused.feed_forward(
+            hidden, self.ff_in.weight.data, self.ff_in.bias.data,
+            self.ff_out.weight.data, self.ff_out.bias.data)
+        return fused.layer_norm(hidden + transformed,
+                                self.ff_norm.weight.data,
+                                self.ff_norm.bias.data,
+                                eps=self.ff_norm.eps)
 
 
 class TransformerEncoder(Module):

@@ -27,7 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn import (DTYPE, Dropout, Embedding, LayerNorm, Linear, Module, ModuleList,
-                  Parameter, Tensor)
+                  Parameter, Tensor, fused, is_fused_enabled)
 from ..nn import init
 from .config import TransformerConfig
 from .transformer import (cross_match_features, lexical_match_scores,
@@ -84,6 +84,10 @@ class XLNetRelativeAttention(Module):
         ``attention_mask`` is boolean, True = masked, broadcastable to
         (B, H, T, T).
         """
+        if is_fused_enabled():
+            return Tensor(self.fused_forward(
+                query_states.data, content_states.data, rel_embeddings.data,
+                attention_mask=attention_mask, match_scores=match_scores))
         seq_len = content_states.shape[1]
         q = self._heads(self.q_proj(query_states))          # (B,H,T,Dh)
         k = self._heads(self.k_proj(content_states))
@@ -114,6 +118,50 @@ class XLNetRelativeAttention(Module):
         context = (probs @ v).transpose(0, 2, 1, 3).reshape(
             query_states.shape[0], seq_len, -1)
         return self.out_proj(context)
+
+    def fused_forward(self, query_states: np.ndarray,
+                      content_states: np.ndarray,
+                      rel_embeddings: np.ndarray,
+                      attention_mask: np.ndarray | None = None,
+                      match_scores: np.ndarray | None = None) -> np.ndarray:
+        """No-tape array path, bit-identical to :meth:`forward` (attention
+        dropout is identity while the tape is off)."""
+        seq_len = content_states.shape[1]
+        h, dh = self.num_heads, self.head_dim
+
+        def heads(x, h=h, dh=dh):
+            b, t, _ = x.shape
+            return x.reshape(b, t, h, dh).transpose(0, 2, 1, 3)
+
+        q = heads(fused.linear(query_states, self.q_proj.weight.data))
+        k = heads(fused.linear(content_states, self.k_proj.weight.data))
+        v = heads(fused.linear(content_states, self.v_proj.weight.data))
+        r = fused.linear(rel_embeddings, self.r_proj.weight.data)
+        r = r.reshape(2 * seq_len - 1, h, dh).transpose(1, 0, 2)
+
+        content_scores = (q + self.content_bias.data.reshape(
+            1, h, 1, dh)) @ np.swapaxes(k, -1, -2)
+        q_pos = q + self.position_bias.data.reshape(1, h, 1, dh)
+        pos_all = q_pos @ np.swapaxes(r, -1, -2)
+        idx = _relative_index(seq_len)
+        rows = np.broadcast_to(np.arange(seq_len)[:, None],
+                               (seq_len, seq_len))
+        position_scores = pos_all[:, :, rows, idx]
+
+        scores = (content_scores + position_scores) * float(
+            1.0 / np.sqrt(self.head_dim))
+        score_bias = None
+        if match_scores is not None and self.match_gain is not None:
+            score_bias = (self.match_gain.data.reshape(1, -1, 1, 1)
+                          * match_scores[:, None, :, :])
+        context = fused.attention_core(
+            None, None, v, 1.0, attention_mask=attention_mask,
+            score_bias=score_bias, mask_value=_NEG_INF,
+            scores=scores)
+        context = context.transpose(0, 2, 1, 3).reshape(
+            query_states.shape[0], seq_len, -1)
+        return fused.linear(context, self.out_proj.weight.data,
+                            self.out_proj.bias.data)
 
 
 class XLNetLayer(Module):
@@ -155,9 +203,47 @@ class XLNetLayer(Module):
     def forward(self, hidden: Tensor, rel_embeddings: Tensor,
                 attention_mask: np.ndarray | None = None,
                 match_scores: np.ndarray | None = None) -> Tensor:
+        if is_fused_enabled():
+            return Tensor(self.fused_forward(
+                hidden.data, rel_embeddings.data,
+                attention_mask=attention_mask, match_scores=match_scores))
         attended = self._attend(hidden, hidden, rel_embeddings,
                                 attention_mask, match_scores=match_scores)
         return self._ff(self._residual(hidden, attended))
+
+    def fused_forward(self, hidden: np.ndarray, rel_embeddings: np.ndarray,
+                      attention_mask: np.ndarray | None = None,
+                      match_scores: np.ndarray | None = None) -> np.ndarray:
+        """No-tape array path for the whole block, bit-identical to
+        :meth:`forward` (dropout is identity while the tape is off)."""
+        if self.pre_norm:
+            normed = fused.layer_norm(hidden, self.attn_norm.weight.data,
+                                      self.attn_norm.bias.data,
+                                      eps=self.attn_norm.eps)
+            attended = self.attention.fused_forward(
+                normed, normed, rel_embeddings,
+                attention_mask=attention_mask, match_scores=match_scores)
+            hidden = hidden + attended
+            normed = fused.layer_norm(hidden, self.ff_norm.weight.data,
+                                      self.ff_norm.bias.data,
+                                      eps=self.ff_norm.eps)
+            return hidden + fused.feed_forward(
+                normed, self.ff_in.weight.data, self.ff_in.bias.data,
+                self.ff_out.weight.data, self.ff_out.bias.data)
+        attended = self.attention.fused_forward(
+            hidden, hidden, rel_embeddings,
+            attention_mask=attention_mask, match_scores=match_scores)
+        hidden = fused.layer_norm(hidden + attended,
+                                  self.attn_norm.weight.data,
+                                  self.attn_norm.bias.data,
+                                  eps=self.attn_norm.eps)
+        transformed = fused.feed_forward(
+            hidden, self.ff_in.weight.data, self.ff_in.bias.data,
+            self.ff_out.weight.data, self.ff_out.bias.data)
+        return fused.layer_norm(hidden + transformed,
+                                self.ff_norm.weight.data,
+                                self.ff_norm.bias.data,
+                                eps=self.ff_norm.eps)
 
     def forward_two_stream(self, h: Tensor, g: Tensor,
                            rel_embeddings: Tensor,

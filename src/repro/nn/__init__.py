@@ -18,10 +18,12 @@ from .rnn import BiRNN, GRUCell, LSTMCell
 from .serialization import (CheckpointError, apply_state_dict,
                             array_checksum, load_checkpoint, load_module,
                             save_checkpoint, save_module)
-from .tensor import Tensor, is_grad_enabled, no_grad
+from .tensor import (Tensor, fused_kernels, inference_mode, is_fused_enabled,
+                     is_grad_enabled, no_grad)
 
 __all__ = [
-    "Tensor", "no_grad", "is_grad_enabled", "DTYPE",
+    "Tensor", "no_grad", "inference_mode", "fused_kernels",
+    "is_grad_enabled", "is_fused_enabled", "DTYPE",
     "Module", "ModuleList", "Parameter",
     "Linear", "Embedding", "LayerNorm", "Dropout", "Sequential",
     "GELU", "ReLU", "Tanh",

@@ -1,0 +1,107 @@
+"""Fused no-tape inference kernels for the hot op chains.
+
+Pure-numpy forward kernels for the sequences that dominate inference
+cost: the affine map, GELU, softmax, layer norm, the feed-forward block
+and the scaled-dot-product attention core (QK^T -> bias -> mask ->
+softmax -> V).  Each kernel replicates the differentiable ``Tensor``
+path's numpy arithmetic operation for operation, so fused outputs are
+bit-identical to the op-by-op path; the equivalence is pinned by the
+bit-identity tests in ``tests/test_perf.py``.
+
+The kernels never allocate intermediate :class:`Tensor` objects and are
+only engaged while the tape is off (see
+:func:`repro.nn.is_fused_enabled`): modules check that flag and fall
+back to the differentiable path whenever gradients are required.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["linear", "gelu", "softmax", "layer_norm", "feed_forward",
+           "split_heads", "merge_heads", "attention_core"]
+
+
+def linear(x: np.ndarray, weight: np.ndarray,
+           bias: np.ndarray | None = None) -> np.ndarray:
+    """Affine map ``x @ W^T + b`` with ``W`` stored (out, in)."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """GELU, tanh approximation — same arithmetic as :meth:`Tensor.gelu`."""
+    c = float(np.sqrt(2.0 / np.pi))
+    inner = c * (x + 0.044715 * x ** 3)
+    t = np.tanh(inner)
+    return 0.5 * x * (1.0 + t)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Shift-stabilized softmax — same arithmetic as :meth:`Tensor.softmax`."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def layer_norm(x: np.ndarray, weight: np.ndarray, bias: np.ndarray,
+               eps: float = 1e-5) -> np.ndarray:
+    """Layer norm over the last axis — same arithmetic as
+    :meth:`Tensor.layer_norm`."""
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(var + eps)
+    return (x - mu) * inv * weight + bias
+
+
+def feed_forward(x: np.ndarray, w_in: np.ndarray, b_in: np.ndarray,
+                 w_out: np.ndarray, b_out: np.ndarray) -> np.ndarray:
+    """The transformer FF block ``linear -> gelu -> linear``, fused."""
+    return linear(gelu(linear(x, w_in, b_in)), w_out, b_out)
+
+
+def split_heads(x: np.ndarray, num_heads: int) -> np.ndarray:
+    """(B, T, D) -> (B, H, T, D/H) without a Tensor wrapper."""
+    batch, seq, dim = x.shape
+    return x.reshape(batch, seq, num_heads,
+                     dim // num_heads).transpose(0, 2, 1, 3)
+
+
+def merge_heads(x: np.ndarray) -> np.ndarray:
+    """(B, H, T, D/H) -> (B, T, D) without a Tensor wrapper."""
+    batch, heads, seq, head_dim = x.shape
+    return x.transpose(0, 2, 1, 3).reshape(batch, seq, heads * head_dim)
+
+
+def attention_core(q: np.ndarray | None, k: np.ndarray | None,
+                   v: np.ndarray, scale: float,
+                   attention_mask: np.ndarray | None = None,
+                   score_bias: np.ndarray | None = None,
+                   mask_value: float = -1e9,
+                   scores: np.ndarray | None = None) -> np.ndarray:
+    """The QK^T -> bias -> mask -> softmax -> V core on (B, H, T, Dh).
+
+    Replicates the differentiable path op for op: scaled scores, optional
+    additive ``score_bias`` (the lexical match bias), boolean
+    ``attention_mask`` (True = masked) filled with ``mask_value``, then
+    softmax over keys and the value contraction.  Dropout is omitted —
+    the kernel only runs with the tape off, where dropout is identity.
+    Callers with a non-standard score map (XLNet's relative-position
+    scores) pass pre-scaled ``scores`` directly and may leave ``q``/``k``
+    as None; only the bias -> mask -> softmax -> V tail runs then.
+    """
+    if scores is None:
+        # float() strips numpy scalar types: they are not "weak" under
+        # NEP 50 and would silently upcast float32 scores to float64,
+        # breaking bit-identity with the Tensor path (whose scalar ops
+        # coerce the same way).
+        scores = (q @ np.swapaxes(k, -1, -2)) * float(scale)
+    if score_bias is not None:
+        scores = scores + score_bias
+    if attention_mask is not None:
+        scores = np.where(np.asarray(attention_mask, dtype=bool),
+                          mask_value, scores)
+    probs = softmax(scores, axis=-1)
+    return probs @ v

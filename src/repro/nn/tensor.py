@@ -19,43 +19,113 @@ import numpy as np
 
 from .init import DTYPE
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "no_grad", "inference_mode", "fused_kernels",
+           "is_grad_enabled", "is_fused_enabled"]
 
 _GRAD_ENABLED = True
+# Fused no-tape kernels (repro.nn.fused) are bit-identical to the op-by-op
+# path, so they default on; they only ever engage while the tape is off.
+_FUSED_ENABLED = True
 
 
 class no_grad:
     """Disable tape recording (used at inference).
 
     Usable as a context manager (``with no_grad():``) or as a decorator
-    (``@no_grad()``).  Nesting is safe: each block restores the grad
-    state that was active when it was entered.
+    (``@no_grad()``).  Nesting is safe — including re-entering the *same*
+    instance — because each ``__enter__`` pushes the previous state onto
+    a stack that ``__exit__`` pops, and the ``with`` protocol guarantees
+    the pop runs even when an exception escapes the block.
     """
 
-    def __enter__(self):
+    def __init__(self):
+        self._saved: list[bool] = []
+
+    def _state(self) -> bool:
+        return _GRAD_ENABLED
+
+    def _apply(self, entering: bool) -> None:
         global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        _GRAD_ENABLED = False if entering else self._saved.pop()
+
+    def __enter__(self):
+        self._saved.append(self._state())
+        self._apply(entering=True)
         return self
 
     def __exit__(self, exc_type, exc, tb):
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        self._apply(entering=False)
         return False
 
     def __call__(self, func):
         @functools.wraps(func)
         def wrapper(*args, **kwargs):
-            # A fresh instance per call: the decorated function may be
-            # reentrant, and __enter__ state lives on the instance.
-            with no_grad():
+            # A fresh instance per call keeps the decorated function
+            # reentrant; the try/finally restores the saved state even
+            # when the wrapped call raises.
+            ctx = type(self)()
+            ctx.__enter__()
+            try:
                 return func(*args, **kwargs)
+            finally:
+                ctx.__exit__(None, None, None)
         return wrapper
+
+
+class inference_mode(no_grad):
+    """``no_grad`` plus the fused no-tape kernels, in one block.
+
+    The strongest inference setting: the tape is off, ``Tensor._make``
+    short-circuits graph construction, and the hot op chains (attention
+    core, feed-forward, softmax/gelu/layer-norm) run as single fused
+    numpy kernels with no intermediate ``Tensor`` allocations.  Outputs
+    are bit-identical to the unfused path.
+    """
+
+    def _state(self) -> tuple[bool, bool]:
+        return (_GRAD_ENABLED, _FUSED_ENABLED)
+
+    def _apply(self, entering: bool) -> None:
+        global _GRAD_ENABLED, _FUSED_ENABLED
+        if entering:
+            _GRAD_ENABLED, _FUSED_ENABLED = False, True
+        else:
+            _GRAD_ENABLED, _FUSED_ENABLED = self._saved.pop()
+
+
+class fused_kernels(no_grad):
+    """Toggle the fused no-tape kernels without touching the tape flag.
+
+    ``with fused_kernels(False):`` forces the op-by-op reference path
+    even under ``no_grad`` — used by the bit-identity tests and by
+    ``repro match --no-fast``.  Fusion still only engages while
+    gradients are disabled, whatever this flag says.
+    """
+
+    def __init__(self, enabled: bool = True):
+        super().__init__()
+        self._enabled = bool(enabled)
+
+    def _state(self) -> bool:
+        return _FUSED_ENABLED
+
+    def _apply(self, entering: bool) -> None:
+        global _FUSED_ENABLED
+        _FUSED_ENABLED = self._enabled if entering else self._saved.pop()
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record backward closures."""
     return _GRAD_ENABLED
+
+
+def is_fused_enabled() -> bool:
+    """Whether the fused no-tape kernels are active *right now*.
+
+    True only when fusion is switched on **and** the tape is off: fused
+    kernels never run where gradients are required.
+    """
+    return _FUSED_ENABLED and not _GRAD_ENABLED
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -131,8 +201,19 @@ class Tensor:
         return other if isinstance(other, Tensor) else Tensor(other)
 
     def _make(self, data: np.ndarray, parents: tuple["Tensor", ...]) -> "Tensor":
+        if not _GRAD_ENABLED:
+            # No-tape fast path: every op result is a bare array wrapper —
+            # no dtype coercion (op outputs are already float arrays), no
+            # parent scan, no closure slots to populate.
+            out = Tensor.__new__(Tensor)
+            out.data = data
+            out.grad = None
+            out.requires_grad = False
+            out._backward = None
+            out._parents = ()
+            return out
         out = Tensor(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = parents
         return out

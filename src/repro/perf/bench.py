@@ -1,0 +1,169 @@
+"""The performance benchmark behind ``repro bench perf``.
+
+Measures ``match_many`` throughput (pairs/sec) for every architecture
+under the pre-optimization path (serial per-pair matching, fused kernels
+off, no tokenization cache) and the fast path (length-bucketed batches,
+fused no-tape kernels, tokenization cache), plus per-phase latency and
+cache effectiveness, and writes the machine-readable scorecard to
+``BENCH_perf.json`` at the repo root.
+
+Imports from ``repro.matching`` stay inside the functions: the matching
+layer imports ``repro.perf`` for its scheduling/caching primitives, so a
+module-level import here would be circular.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+__all__ = ["run_perf_benchmark", "write_report", "validate_report",
+           "DEFAULT_ARCHS", "SPEEDUP_THRESHOLD"]
+
+DEFAULT_ARCHS = ("bert", "roberta", "distilbert", "xlnet")
+#: Acceptance floor: fast-path pairs/sec over the baseline on BERT.
+SPEEDUP_THRESHOLD = 2.0
+
+_REPORT_KEYS = ("benchmark", "smoke", "config", "architectures",
+                "acceptance")
+_ARCH_KEYS = ("pairs", "baseline_seconds", "baseline_pairs_per_sec",
+              "fast_seconds", "fast_pairs_per_sec", "speedup", "phases",
+              "cache", "decisions_consistent")
+
+
+def _tiny_settings():
+    from ..pretraining import ZooSettings
+    return ZooSettings(base_steps=25, base_examples=150,
+                       tokenizer_sentences=150, vocab_size=220,
+                       d_model=32, num_layers=2, num_heads=2,
+                       max_position=64, seq_len=32)
+
+
+def _build_pairs(num_pairs: int, seed: int):
+    """Record pairs from the dblp-acm benchmark, cycled up to the
+    requested count (records repeating across candidate pairs is exactly
+    the workload shape the tokenization cache exists for)."""
+    from ..data import load_benchmark
+    data = load_benchmark("dblp-acm", seed=seed, scale=0.05)
+    base = [(p.record_a, p.record_b) for p in data.pairs]
+    if not base:
+        raise RuntimeError("dblp-acm produced no candidate pairs")
+    # Keep the unique-pair pool at half the workload so every record
+    # really is re-matched at least once — the cacheable shape.
+    base = base[:max(1, num_pairs // 2)]
+    pairs = [base[i % len(base)] for i in range(num_pairs)]
+    return data, pairs
+
+
+def _fit_matcher(arch: str, data, seed: int, zoo_dir):
+    from ..matching import EntityMatcher, FineTuneConfig
+    matcher = EntityMatcher(
+        arch, seed=seed, zoo_settings=_tiny_settings(), zoo_dir=zoo_dir,
+        finetune_config=FineTuneConfig(epochs=1, batch_size=8,
+                                       max_length_cap=32))
+    matcher.fit(data)
+    return matcher
+
+
+def _bench_arch(arch: str, data, pairs, seed: int, zoo_dir,
+                batch_size: int) -> dict:
+    from ..nn import fused_kernels
+    from ..obs import default_registry
+    matcher = _fit_matcher(arch, data, seed, zoo_dir)
+    tokenizer = matcher.pretrained.tokenizer
+
+    # Baseline: the pre-optimization path — per-pair serial matching,
+    # op-by-op kernels, no tokenization cache.
+    tokenizer.cache = None
+    with fused_kernels(False):
+        start = time.perf_counter()
+        baseline = matcher.match_many(pairs, fast=False)
+        baseline_seconds = time.perf_counter() - start
+
+    # Fast path: bucketed batches + fused no-tape kernels + cache.
+    cache = matcher.ensure_token_cache()
+    cache.clear()
+    registry = default_registry()
+    start = time.perf_counter()
+    fast = matcher.match_many(pairs, fast=True, batch_size=batch_size)
+    fast_seconds = time.perf_counter() - start
+
+    n = len(pairs)
+    decisions_consistent = all(
+        a.matched == b.matched for a, b in zip(baseline, fast))
+    return {
+        "pairs": n,
+        "baseline_seconds": baseline_seconds,
+        "baseline_pairs_per_sec": n / max(baseline_seconds, 1e-9),
+        "fast_seconds": fast_seconds,
+        "fast_pairs_per_sec": n / max(fast_seconds, 1e-9),
+        "speedup": baseline_seconds / max(fast_seconds, 1e-9),
+        "phases": {
+            "encode_seconds":
+                registry.gauge("perf.match.encode_seconds").value,
+            "forward_seconds":
+                registry.gauge("perf.match.forward_seconds").value,
+        },
+        "cache": {"hits": int(cache.hits), "misses": int(cache.misses),
+                  "hit_rate": cache.hit_rate},
+        "decisions_consistent": decisions_consistent,
+    }
+
+
+def run_perf_benchmark(archs=DEFAULT_ARCHS, num_pairs: int = 200,
+                       seed: int = 0, zoo_dir=None, batch_size: int = 32,
+                       smoke: bool = False) -> dict:
+    """Run the benchmark and return the report dict (see module doc)."""
+    if smoke:
+        num_pairs = min(num_pairs, 24)
+    data, pairs = _build_pairs(num_pairs, seed)
+    architectures = {}
+    for arch in archs:
+        architectures[arch] = _bench_arch(arch, data, pairs, seed,
+                                          zoo_dir, batch_size)
+    bert_speedup = architectures.get("bert", {}).get("speedup", 0.0)
+    report = {
+        "benchmark": "perf",
+        "smoke": bool(smoke),
+        "config": {"archs": list(archs), "pairs": num_pairs,
+                   "seed": seed, "batch_size": batch_size},
+        "architectures": architectures,
+        "acceptance": {
+            "bert_speedup": bert_speedup,
+            "threshold": SPEEDUP_THRESHOLD,
+            # Smoke runs are too small for stable timing; the threshold
+            # is only enforced on full runs.
+            "enforced": not smoke,
+            "passed": bool(smoke or bert_speedup >= SPEEDUP_THRESHOLD),
+        },
+    }
+    return report
+
+
+def validate_report(report: dict) -> list[str]:
+    """Schema check; returns a list of problems (empty = valid)."""
+    problems = []
+    for key in _REPORT_KEYS:
+        if key not in report:
+            problems.append(f"missing top-level key {key!r}")
+    if report.get("benchmark") != "perf":
+        problems.append("benchmark field must be 'perf'")
+    for arch, entry in report.get("architectures", {}).items():
+        for key in _ARCH_KEYS:
+            if key not in entry:
+                problems.append(f"architectures[{arch!r}] missing {key!r}")
+    acceptance = report.get("acceptance", {})
+    for key in ("bert_speedup", "threshold", "enforced", "passed"):
+        if key not in acceptance:
+            problems.append(f"acceptance missing {key!r}")
+    return problems
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    """Atomically write the report JSON to ``path``."""
+    from ..utils import atomic_write_text
+    path = Path(path)
+    atomic_write_text(path, json.dumps(report, indent=2, sort_keys=True)
+                      + "\n")
+    return path

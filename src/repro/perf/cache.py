@@ -1,0 +1,138 @@
+"""Bounded LRU caching for tokenization work.
+
+Entity-matching workloads re-serialize the same records over and over:
+each record participates in many candidate pairs, and every
+``match_many`` / ``encode_dataset`` call used to re-run the subword
+tokenizer from scratch.  :class:`TokenizationCache` memoizes the
+text -> token-id mapping behind a bounded LRU keyed on a content hash
+of the text, and exports hit/miss/eviction counters through the
+:mod:`repro.obs` metrics registry.
+
+The cache is attached *per tokenizer instance* (see
+``SubwordTokenizer.cache``): token ids are only meaningful relative to
+one vocabulary, so sharing entries across tokenizers would corrupt
+encodings.  :func:`ensure_token_cache` is the idempotent attach helper
+the matching layer uses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from hashlib import blake2b
+
+__all__ = ["LRUCache", "TokenizationCache", "ensure_token_cache"]
+
+
+class LRUCache:
+    """A bounded mapping evicting the least-recently-used entry."""
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def get(self, key, default=None):
+        """Look up ``key``, refreshing its recency on a hit."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def _content_key(text: str) -> bytes:
+    """Stable content hash — fixed-width keys regardless of text size."""
+    return blake2b(text.encode("utf-8"), digest_size=16).digest()
+
+
+class TokenizationCache:
+    """Memoize text -> token ids for one tokenizer.
+
+    Values are stored as immutable tuples and handed out as fresh lists,
+    so callers (pair truncation mutates its id lists) can never corrupt
+    a cached entry.  Counter updates go to ``repro.obs``'s default
+    registry under ``perf.token_cache.*`` unless another registry is
+    passed.
+    """
+
+    def __init__(self, maxsize: int = 4096, registry=None):
+        if registry is None:
+            from ..obs import default_registry
+            registry = default_registry()
+        self._lru = LRUCache(maxsize)
+        self._hits = registry.counter("perf.token_cache.hits")
+        self._misses = registry.counter("perf.token_cache.misses")
+        self._evictions = registry.counter("perf.token_cache.evictions")
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def hits(self) -> int:
+        return self._lru.hits
+
+    @property
+    def misses(self) -> int:
+        return self._lru.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self._lru.hit_rate
+
+    def lookup(self, text: str, compute) -> list[int]:
+        """Return cached ids for ``text``, calling ``compute(text)`` on miss."""
+        key = _content_key(text)
+        cached = self._lru.get(key)
+        if cached is not None:
+            self._hits.inc()
+            return list(cached)
+        self._misses.inc()
+        ids = compute(text)
+        before = self._lru.evictions
+        self._lru.put(key, tuple(ids))
+        if self._lru.evictions > before:
+            self._evictions.inc(self._lru.evictions - before)
+        return list(ids)
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+
+def ensure_token_cache(tokenizer, maxsize: int = 4096,
+                       registry=None) -> TokenizationCache:
+    """Attach a :class:`TokenizationCache` to ``tokenizer`` if it has
+    none yet, and return the attached cache (idempotent)."""
+    cache = getattr(tokenizer, "cache", None)
+    if cache is None:
+        cache = TokenizationCache(maxsize=maxsize, registry=registry)
+        tokenizer.cache = cache
+    return cache

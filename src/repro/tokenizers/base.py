@@ -48,6 +48,12 @@ class SubwordTokenizer:
     def __init__(self, vocab: Vocab, cls_at_end: bool = False):
         self.vocab = vocab
         self.cls_at_end = cls_at_end
+        #: Optional text -> token-id memo (duck-typed: anything with a
+        #: ``lookup(text, compute)`` method, normally a
+        #: :class:`repro.perf.TokenizationCache`).  None = no caching.
+        #: Ids are vocabulary-specific, so a cache must never be shared
+        #: between tokenizer instances.
+        self.cache = None
 
     # -- subclass API ---------------------------------------------------------
 
@@ -60,7 +66,12 @@ class SubwordTokenizer:
     # -- shared encoding -------------------------------------------------------
 
     def encode(self, text: str) -> list[int]:
-        """Text to ids without special tokens."""
+        """Text to ids without special tokens (memoized via ``cache``)."""
+        if self.cache is not None:
+            return self.cache.lookup(text, self._encode_uncached)
+        return self._encode_uncached(text)
+
+    def _encode_uncached(self, text: str) -> list[int]:
         return [self.vocab.token_to_id(t) for t in self.tokenize(text)]
 
     def decode(self, ids: list[int]) -> str:

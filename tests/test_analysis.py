@@ -34,7 +34,7 @@ class TestSelfLint:
 
     def test_rule_catalog(self):
         rules = available_rules()
-        assert len(rules) == 9
+        assert len(rules) == 10
         ids = [r.id for r in rules]
         assert len(set(ids)) == len(ids)
         assert all(r.id.startswith("RA") and r.name and r.hint
@@ -126,6 +126,40 @@ class TestLintRules:
         hits = _only(source, "RA107")
         messages = " / ".join(v.message for v in hits)
         assert "gone" in messages and "present" in messages
+
+    def test_ra110_forward_outside_no_grad(self):
+        bad = ("from repro.nn import Tensor\n"
+               "def match_all(pairs, classifier):\n"
+               "    return [classifier(p) for p in pairs]\n"
+               "def eval_loop(batches, model):\n"
+               "    return [model.forward(b) for b in batches]\n")
+        hits = _only(bad, "RA110", package="repro.matching.api")
+        assert [v.line for v in hits] == [3, 5]
+        good = bad.replace("from repro.nn import Tensor",
+                           "from repro.nn import Tensor, no_grad")
+        good = good.replace("return [classifier(p) for p in pairs]",
+                            "with no_grad():\n"
+                            "        return [classifier(p) for p in pairs]")
+        good = good.replace("return [model.forward(b) for b in batches]",
+                            "with no_grad():\n"
+                            "        return [model.forward(b) "
+                            "for b in batches]")
+        assert not _only(good, "RA110", package="repro.matching.api")
+
+    def test_ra110_delegation_and_inference_mode(self):
+        source = ("from repro.nn import inference_mode\n"
+                  "def _match_fast(pairs, model):\n"
+                  "    with inference_mode():\n"
+                  "        return [model(p) for p in pairs]\n"
+                  "def match_many(pairs, model):\n"
+                  "    return _match_fast(pairs, model)\n")
+        assert not _only(source, "RA110", package="repro.matching.api")
+
+    def test_ra110_needs_nn_import(self):
+        source = ("import numpy as np\n"
+                  "def match_all(pairs, classifier):\n"
+                  "    return [classifier(p) for p in pairs]\n")
+        assert not _only(source, "RA110", package="repro.baselines.x")
 
     def test_ra108_legacy_global_rng(self):
         source = ("import numpy as np\n"
