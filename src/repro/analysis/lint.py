@@ -29,6 +29,10 @@ RA109  non-atomic-artifact-write      save/write/dump functions that truncate
                                       tmp-file + ``os.replace`` pattern
 RA110  forward-outside-no-grad        match/eval/bench drivers that call a
                                       model forward directly with the tape on
+RA111  blocking-sleep-in-serve        ``time.sleep`` (or timed real waits) in
+                                      the serving stack outside the Clock
+                                      abstraction — breaks the virtual-clock
+                                      test harness
 ====== ============================== ==========================================
 
 Usage::
@@ -670,6 +674,96 @@ class _ForwardOutsideNoGrad(LintRule):
                 yield node
 
 
+class _BlockingSleepInServe(LintRule):
+    """The serving stack promises deterministic, sleep-free tests: all
+    timing runs through :class:`repro.serve.clock.Clock`, so a
+    :class:`~repro.serve.clock.VirtualClock` can simulate hours of
+    queueing in milliseconds.  A direct ``time.sleep`` (or a timed
+    ``threading`` wait, which blocks on the real clock no matter what
+    clock the service was given) anywhere else in ``repro.serve``
+    punches a hole in that guarantee."""
+
+    id = "RA111"
+    name = "blocking-sleep-in-serve"
+    hint = ("route the wait through the service's Clock (clock.sleep / "
+            "ClockCondition.wait_for); repro.serve.clock is the single "
+            "sanctioned real-time module")
+
+    #: The one module allowed to touch real time (SystemClock lives
+    #: there, as does the real-time settle() bridge).
+    _SANCTIONED = "repro.serve.clock"
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if not module.in_package("repro.serve"):
+            return
+        if module.package == self._SANCTIONED:
+            return
+        sleep_aliases = {"sleep"} if self._imports_time_sleep(module) \
+            else set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if (isinstance(callee, ast.Attribute)
+                    and callee.attr == "sleep"
+                    and isinstance(callee.value, ast.Name)
+                    and callee.value.id == "time"):
+                yield self.violation(
+                    module, node,
+                    "time.sleep() in serving code bypasses the Clock "
+                    "abstraction — the virtual-clock harness cannot "
+                    "simulate it")
+            elif (isinstance(callee, ast.Name)
+                  and callee.id in sleep_aliases):
+                yield self.violation(
+                    module, node,
+                    "sleep() (imported from time) bypasses the Clock "
+                    "abstraction — the virtual-clock harness cannot "
+                    "simulate it")
+            elif (isinstance(callee, ast.Attribute)
+                  and callee.attr in ("wait", "wait_for", "join",
+                                      "acquire")
+                  and self._has_real_timeout(node)):
+                yield self.violation(
+                    module, node,
+                    f".{callee.attr}(timeout=...) blocks on the real "
+                    f"clock regardless of the service's Clock — use "
+                    f"ClockCondition.wait_for so the timeout is "
+                    f"clock-interpreted")
+
+    @staticmethod
+    def _imports_time_sleep(module: SourceModule) -> bool:
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.ImportFrom)
+                    and node.module == "time"
+                    and any(alias.name == "sleep"
+                            for alias in node.names)):
+                return True
+        return False
+
+    @staticmethod
+    def _has_real_timeout(node: ast.Call) -> bool:
+        # ClockCondition.wait_for(pred, timeout=x) is the sanctioned
+        # form; flag only waits on plain threading objects.  Heuristic:
+        # a receiver whose name mentions the clock/cond wrapper is
+        # allowed, anything else with a non-None timeout is not.
+        receiver = node.func.value
+        receiver_name = ""
+        if isinstance(receiver, ast.Name):
+            receiver_name = receiver.id
+        elif isinstance(receiver, ast.Attribute):
+            receiver_name = receiver.attr
+        if "cond" in receiver_name.lower() \
+                or "clock" in receiver_name.lower():
+            return False
+        for keyword in node.keywords:
+            if (keyword.arg == "timeout"
+                    and not (isinstance(keyword.value, ast.Constant)
+                             and keyword.value.value is None)):
+                return True
+        return False
+
+
 _RULES: tuple[LintRule, ...] = (
     _TensorDataNumpyCall(),
     _HardCodedFloatDtype(),
@@ -681,6 +775,7 @@ _RULES: tuple[LintRule, ...] = (
     _LegacyGlobalRng(),
     _NonAtomicArtifactWrite(),
     _ForwardOutsideNoGrad(),
+    _BlockingSleepInServe(),
 )
 
 

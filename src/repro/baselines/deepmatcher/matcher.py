@@ -77,6 +77,7 @@ class DeepMatcher:
         self._callbacks = CallbackList.resolve(callbacks)
         self._vocab: WordVocab | None = None
         self._model: DeepMatcherModel | None = None
+        self._threshold: float = 0.5
         self.chosen_variant: str | None = None
         self.epoch_seconds: dict[str, float] = {}
 
@@ -190,11 +191,25 @@ class DeepMatcher:
                              "validation_f1": self._validation_f1})
         return self
 
-    def predict(self, dataset: EMDataset) -> np.ndarray:
+    def predict_proba(self, dataset: EMDataset) -> np.ndarray:
+        """Per-pair match probability, shape ``(len(dataset),)``.
+
+        The raw scores behind :meth:`predict`; exposed so the serving
+        layer (:class:`repro.serve.DeepMatcherBackend`) can run the
+        baseline as a cheap request-scoring backend.
+        """
         if self._model is None:
             raise RuntimeError("fit() before predict")
         encoded = _Encoded(dataset, self._vocab, self.config.max_length)
-        probabilities = self._proba_encoded(self._model, encoded)
+        return self._proba_encoded(self._model, encoded)
+
+    @property
+    def threshold(self) -> float:
+        """The validation-F1-optimal decision threshold chosen by fit()."""
+        return self._threshold
+
+    def predict(self, dataset: EMDataset) -> np.ndarray:
+        probabilities = self.predict_proba(dataset)
         return (probabilities >= self._threshold).astype(int)
 
     def evaluate(self, dataset: EMDataset) -> MatchingMetrics:

@@ -29,7 +29,11 @@ Commands
     Report gradcheck/test coverage of Tensor ops and Module subclasses.
 ``bench``
     Run a benchmark suite; ``bench perf`` measures serial vs. fast
-    ``match_many`` throughput and writes ``BENCH_perf.json``.
+    ``match_many`` throughput and writes ``BENCH_perf.json``;
+    ``bench serve`` replays seeded load through the micro-batching
+    match service and writes ``BENCH_serve.json``.
+``serve-bench``
+    Shorthand for ``bench serve``.
 """
 
 from __future__ import annotations
@@ -138,20 +142,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="exit non-zero if any op or module is uncovered")
 
-    p = sub.add_parser("bench", help="run a benchmark suite")
-    p.add_argument("suite", choices=["perf"],
-                   help="perf: serial vs. fast match_many throughput")
-    p.add_argument("--smoke", action="store_true",
-                   help="few pairs, no acceptance enforcement (CI)")
-    p.add_argument("--pairs", type=int, default=200,
-                   help="number of record pairs to match (default 200)")
-    p.add_argument("--batch-size", type=int, default=32)
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--output", default="BENCH_perf.json",
-                   help="report path (default: BENCH_perf.json)")
-    p.add_argument("--zoo-dir", default=None,
-                   help="model-zoo cache directory (default: "
-                        "REPRO_ZOO_DIR or ~/.cache/repro/zoo)")
+    for name in ("bench", "serve-bench"):
+        if name == "bench":
+            p = sub.add_parser("bench", help="run a benchmark suite")
+            p.add_argument("suite", choices=["perf", "serve"],
+                           help="perf: serial vs. fast match_many "
+                                "throughput; serve: micro-batching "
+                                "service throughput/latency under load")
+        else:
+            p = sub.add_parser(
+                "serve-bench",
+                help="shorthand for `bench serve`: micro-batching "
+                     "service load benchmark")
+            p.set_defaults(suite="serve")
+        p.add_argument("--smoke", action="store_true",
+                       help="few pairs, no acceptance enforcement (CI)")
+        p.add_argument("--pairs", type=int, default=200,
+                       help="number of record pairs to match (default 200)")
+        p.add_argument("--batch-size", type=int, default=32)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--arch", default="bert",
+                       choices=["bert", "roberta", "distilbert", "xlnet"],
+                       help="architecture for the serve suite "
+                            "(default bert; perf benches all four)")
+        p.add_argument("--max-wait-ms", type=float, default=10.0,
+                       help="serve suite: micro-batcher flush horizon "
+                            "(default 10 ms)")
+        p.add_argument("--output", default=None,
+                       help="report path (default: BENCH_<suite>.json)")
+        p.add_argument("--zoo-dir", default=None,
+                       help="model-zoo cache directory (default: "
+                            "REPRO_ZOO_DIR or ~/.cache/repro/zoo)")
 
     return parser
 
@@ -340,7 +361,44 @@ def _cmd_audit(args) -> int:
     return 0
 
 
+def _cmd_bench_serve(args) -> int:
+    from .serve import (run_serve_benchmark, validate_serve_report,
+                        write_serve_report)
+    from .serve.bench import EFFICIENCY_FLOOR
+    report = run_serve_benchmark(arch=args.arch, num_pairs=args.pairs,
+                                 seed=args.seed, zoo_dir=args.zoo_dir,
+                                 batch_size=args.batch_size,
+                                 max_wait_ms=args.max_wait_ms,
+                                 smoke=args.smoke)
+    problems = validate_serve_report(report)
+    if problems:
+        for problem in problems:
+            print(f"error: invalid report: {problem}", file=sys.stderr)
+        return 2
+    path = write_serve_report(report,
+                              args.output or "BENCH_serve.json")
+    baseline = report["baseline"]
+    print(f"serial baseline: {baseline['pairs_per_sec']:.1f} pairs/sec")
+    for name, level in report["levels"].items():
+        print(f"{name} load: {level['completed']}/{level['offered']} "
+              f"completed at {level['throughput']:.1f} req/sec "
+              f"(p50 {level['p50_latency_ms']:.1f} ms, "
+              f"p95 {level['p95_latency_ms']:.1f} ms, "
+              f"{level['rejected']} rejected, "
+              f"{level['timeouts']} timed out)")
+    acceptance = report["acceptance"]
+    print(f"report written to {path}")
+    if acceptance["enforced"] and not acceptance["passed"]:
+        print(f"error: serving efficiency "
+              f"{acceptance['efficiency_at_top_load']:.2f} below the "
+              f"{EFFICIENCY_FLOOR} acceptance floor", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args) -> int:
+    if args.suite == "serve":
+        return _cmd_bench_serve(args)
     from .perf import (SPEEDUP_THRESHOLD, run_perf_benchmark,
                        validate_report, write_report)
     report = run_perf_benchmark(num_pairs=args.pairs, seed=args.seed,
@@ -352,7 +410,7 @@ def _cmd_bench(args) -> int:
         for problem in problems:
             print(f"error: invalid report: {problem}", file=sys.stderr)
         return 2
-    path = write_report(report, args.output)
+    path = write_report(report, args.output or "BENCH_perf.json")
     for arch, entry in report["architectures"].items():
         print(f"{arch}: {entry['baseline_pairs_per_sec']:.1f} -> "
               f"{entry['fast_pairs_per_sec']:.1f} pairs/sec "
@@ -380,6 +438,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "audit": _cmd_audit,
     "bench": _cmd_bench,
+    "serve-bench": _cmd_bench,
 }
 
 

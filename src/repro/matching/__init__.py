@@ -3,6 +3,7 @@
 from .active import (ActiveLearningConfig, ActiveLearningResult,
                      active_learning_loop, uncertainty_sampling)
 from .api import EntityMatcher
+from .engine import MatchEngine
 from .finetune import (EpochRecord, FineTuneConfig, FineTuneResult,
                        evaluate_classifier, fine_tune)
 from .metrics import (MatchingMetrics, confusion_matrix,
@@ -11,7 +12,7 @@ from .serializer import (EncodedPairs, choose_max_length, encode_dataset,
                          iter_bucketed, pair_texts, uniform_cls_index)
 
 __all__ = [
-    "EntityMatcher",
+    "EntityMatcher", "MatchEngine",
     "active_learning_loop", "ActiveLearningConfig",
     "ActiveLearningResult", "uncertainty_sampling",
     "fine_tune", "FineTuneConfig", "FineTuneResult", "EpochRecord",

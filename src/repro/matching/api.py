@@ -13,22 +13,20 @@ The one-stop interface a downstream user adopts::
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from ..data import EMDataset, EntityPair, Record
 from ..models import ARCHITECTURES
 from ..nn import no_grad
-from ..obs import CallbackList, default_registry
+from ..obs import CallbackList
 from ..perf import TokenizationCache, ensure_token_cache
 from ..pretraining import PretrainedModel, ZooSettings, get_pretrained
-from ..resilience import (MatchOutcome, ResilienceConfig,
-                          fallback_probability)
+from ..resilience import MatchOutcome, ResilienceConfig
+from .engine import MatchEngine
 from .finetune import FineTuneConfig, FineTuneResult, fine_tune
 from .metrics import MatchingMetrics
-from .serializer import (EncodedPairs, encode_dataset, iter_bucketed,
-                         pair_texts, uniform_cls_index)
+from .serializer import (encode_dataset, iter_bucketed, pair_texts,
+                         uniform_cls_index)
 
 __all__ = ["EntityMatcher"]
 
@@ -222,6 +220,7 @@ class EntityMatcher:
 
     def _match_many_serial(self, pairs, threshold: float, fallback: bool,
                            cb) -> list[MatchOutcome]:
+        engine = self.engine()
         outcomes: list[MatchOutcome] = []
         for index, (entity_a, entity_b) in enumerate(pairs):
             try:
@@ -232,117 +231,25 @@ class EntityMatcher:
                 continue
             except Exception as exc:  # noqa: BLE001 — isolation point
                 error = f"{type(exc).__name__}: {exc}"
-            outcomes.append(self._degraded_outcome(
+            outcomes.append(engine.degraded_outcome(
                 index, entity_a, entity_b, error, threshold, fallback, cb))
         return outcomes
 
-    def _degraded_outcome(self, index: int, entity_a, entity_b,
-                          error: str, threshold: float, fallback: bool,
-                          cb) -> MatchOutcome:
-        """A fallback-scored (or skipped) outcome plus its telemetry."""
-        probability = 0.0
-        if fallback:
-            try:
-                text_a, text_b = self._pair_texts(entity_a, entity_b)
-                probability = fallback_probability(text_a, text_b)
-            except Exception as exc:  # noqa: BLE001
-                error += f"; fallback failed too ({exc})"
-        if cb:
-            cb.on_recovery({
-                "phase": "match", "reason": "pair_failure",
-                "action": ("similarity_fallback" if fallback
-                           else "skipped"),
-                "index": index, "error": error})
-        return MatchOutcome(
-            index=index, probability=probability,
-            matched=fallback and probability >= threshold,
-            degraded=True, error=error)
+    def engine(self) -> MatchEngine:
+        """The bucketed batch-scoring engine for this fitted matcher.
+
+        This is the exact implementation behind ``match_many``'s fast
+        path; :class:`repro.serve.MatchService` drives the same engine
+        so served probabilities are bit-identical to ``match_many``.
+        """
+        result = self._require_fitted()
+        self.ensure_token_cache()
+        return MatchEngine(self._pair_texts, self.pretrained.tokenizer,
+                           result.classifier, result.max_length)
 
     def _match_many_fast(self, pairs, threshold: float, fallback: bool,
                          cb, batch_size: int) -> list[MatchOutcome]:
         """Bucketed batch engine behind :meth:`match_many`."""
-        result = self._require_fitted()
-        self.ensure_token_cache()
-        tokenizer = self.pretrained.tokenizer
-        outcomes: list[MatchOutcome | None] = [None] * len(pairs)
-
-        encode_t0 = time.perf_counter()
-        kept: list[int] = []          # original pair index per encoded row
-        encodings = []
-        for index, (entity_a, entity_b) in enumerate(pairs):
-            try:
-                text_a, text_b = self._pair_texts(entity_a, entity_b)
-                enc = tokenizer.encode_pair(text_a, text_b,
-                                            max_length=result.max_length)
-            except Exception as exc:  # noqa: BLE001 — isolation point
-                outcomes[index] = self._degraded_outcome(
-                    index, entity_a, entity_b,
-                    f"{type(exc).__name__}: {exc}", threshold, fallback,
-                    cb)
-                continue
-            kept.append(index)
-            encodings.append(enc)
-        encode_seconds = time.perf_counter() - encode_t0
-
-        forward_t0 = time.perf_counter()
-        if encodings:
-            encoded = EncodedPairs(
-                np.stack([e.input_ids for e in encodings]),
-                np.stack([e.segment_ids for e in encodings]),
-                np.stack([e.pad_mask for e in encodings]),
-                np.asarray([e.cls_index for e in encodings]),
-                np.zeros(len(encodings), dtype=np.int64))
-            classifier = result.classifier
-            classifier.eval()
-            with no_grad():
-                for rows, batch in iter_bucketed(encoded, batch_size):
-                    try:
-                        probs = classifier.predict_proba(
-                            batch.input_ids,
-                            segment_ids=batch.segment_ids,
-                            pad_mask=batch.pad_masks,
-                            cls_index=uniform_cls_index(
-                                batch.cls_indices))[:, 1]
-                    except Exception:  # noqa: BLE001 — isolation point
-                        self._retry_rows(rows, kept, encodings, pairs,
-                                         outcomes, threshold, fallback,
-                                         cb)
-                        continue
-                    for row, probability in zip(rows, probs):
-                        index = kept[int(row)]
-                        outcomes[index] = MatchOutcome(
-                            index=index, probability=float(probability),
-                            matched=float(probability) >= threshold)
-        forward_seconds = time.perf_counter() - forward_t0
-
-        registry = default_registry()
-        registry.gauge("perf.match.encode_seconds").set(encode_seconds)
-        registry.gauge("perf.match.forward_seconds").set(forward_seconds)
-        registry.counter("perf.match.pairs").inc(len(pairs))
-        return outcomes
-
-    def _retry_rows(self, rows, kept, encodings, pairs, outcomes,
-                    threshold: float, fallback: bool, cb) -> None:
-        """A bucket forward failed: re-run its members one by one, so a
-        single poisoned pair cannot take down its batch neighbors."""
-        classifier = self._require_fitted().classifier
-        for row in rows:
-            index = kept[int(row)]
-            enc = encodings[int(row)]
-            try:
-                probs = classifier.predict_proba(
-                    enc.input_ids[None, :],
-                    segment_ids=enc.segment_ids[None, :],
-                    pad_mask=enc.pad_mask[None, :],
-                    cls_index=enc.cls_index)
-                probability = float(probs[0, 1])
-            except Exception as exc:  # noqa: BLE001 — isolation point
-                entity_a, entity_b = pairs[index]
-                outcomes[index] = self._degraded_outcome(
-                    index, entity_a, entity_b,
-                    f"{type(exc).__name__}: {exc}", threshold, fallback,
-                    cb)
-                continue
-            outcomes[index] = MatchOutcome(
-                index=index, probability=probability,
-                matched=probability >= threshold)
+        return self.engine().score_pairs(pairs, threshold=threshold,
+                                         fallback=fallback, cb=cb,
+                                         batch_size=batch_size)

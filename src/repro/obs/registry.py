@@ -10,9 +10,16 @@ bounded sample buffer that is deterministically decimated (keep every
 second sample, double the stride) once full, so quantiles stay accurate
 to the buffer resolution with O(max_samples) memory no matter how many
 observations arrive.
+
+Every metric (and the registry's get-or-create path) is thread-safe:
+``repro.serve`` updates counters and gauges from producer threads and
+batcher workers concurrently, and an unlocked ``value += amount`` is a
+read-modify-write race that silently drops increments.
 """
 
 from __future__ import annotations
+
+import threading
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "default_registry"]
@@ -21,16 +28,18 @@ __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
 class Counter:
     """Monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a gauge")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> dict:
         return {"kind": "counter", "value": self.value}
@@ -39,17 +48,20 @@ class Counter:
 class Gauge:
     """Last-write-wins scalar."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def add(self, amount: float) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> dict:
         return {"kind": "gauge", "value": self.value}
@@ -63,7 +75,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "count", "total", "min", "max",
-                 "_samples", "_stride", "_seen", "_max_samples")
+                 "_samples", "_stride", "_seen", "_max_samples", "_lock")
 
     def __init__(self, name: str, max_samples: int = 2048):
         if max_samples < 2:
@@ -77,19 +89,21 @@ class Histogram:
         self._stride = 1
         self._seen = 0
         self._max_samples = max_samples
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
-        if self._seen % self._stride == 0:
-            self._samples.append(value)
-            if len(self._samples) >= self._max_samples:
-                self._samples = self._samples[::2]
-                self._stride *= 2
-        self._seen += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            if self._seen % self._stride == 0:
+                self._samples.append(value)
+                if len(self._samples) >= self._max_samples:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
+            self._seen += 1
 
     @property
     def mean(self) -> float:
@@ -99,9 +113,10 @@ class Histogram:
         """Approximate q-quantile (exact until the buffer decimates)."""
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
-        if not self._samples:
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
             return 0.0
-        ordered = sorted(self._samples)
         position = q * (len(ordered) - 1)
         low = int(position)
         high = min(low + 1, len(ordered) - 1)
@@ -129,17 +144,19 @@ class MetricsRegistry:
 
     def __init__(self):
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, cls, **kwargs):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = cls(name, **kwargs)
-            self._metrics[name] = metric
-        elif not isinstance(metric, cls):
-            raise TypeError(
-                f"metric {name!r} already registered as "
-                f"{type(metric).__name__}, not {cls.__name__}")
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}")
+            return metric
 
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter)
@@ -151,15 +168,18 @@ class MetricsRegistry:
         return self._get(name, Histogram, max_samples=max_samples)
 
     def names(self) -> list[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def snapshot(self) -> dict[str, dict]:
         """``{name: metric snapshot}`` for every registered metric."""
-        return {name: metric.snapshot()
-                for name, metric in sorted(self._metrics.items())}
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in metrics}
 
     def reset(self) -> None:
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
 
 
 _DEFAULT_REGISTRY = MetricsRegistry()

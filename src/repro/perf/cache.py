@@ -13,10 +13,16 @@ The cache is attached *per tokenizer instance* (see
 one vocabulary, so sharing entries across tokenizers would corrupt
 encodings.  :func:`ensure_token_cache` is the idempotent attach helper
 the matching layer uses.
+
+Both cache classes are thread-safe: ``repro.serve`` encodes requests
+from batcher workers while producers may be warming the same tokenizer,
+and an unlocked ``OrderedDict.move_to_end`` during a concurrent ``put``
+corrupts the recency list.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from hashlib import blake2b
 
@@ -31,37 +37,46 @@ class LRUCache:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
         self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key, default=None):
         """Look up ``key``, refreshing its recency on a hit."""
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.misses += 1
-            return default
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
-
-    def put(self, key, value) -> None:
-        if key in self._entries:
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return default
             self._entries.move_to_end(key)
-        self._entries[key] = value
-        if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+            self.hits += 1
+            return value
+
+    def put(self, key, value) -> bool:
+        """Insert/refresh ``key``; True if an older entry was evicted."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                return True
+            return False
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     @property
     def hit_rate(self) -> float:
@@ -117,10 +132,8 @@ class TokenizationCache:
             return list(cached)
         self._misses.inc()
         ids = compute(text)
-        before = self._lru.evictions
-        self._lru.put(key, tuple(ids))
-        if self._lru.evictions > before:
-            self._evictions.inc(self._lru.evictions - before)
+        if self._lru.put(key, tuple(ids)):
+            self._evictions.inc()
         return list(ids)
 
     def clear(self) -> None:

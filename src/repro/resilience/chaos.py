@@ -12,7 +12,12 @@ step numbers so runs are reproducible:
   checkpoint/resume;
 * **checkpoint corruption** — :func:`corrupt_checkpoint` flips bytes in
   a written ``.npz``, exercising the manifest-checksum detection and the
-  fall-back-to-earlier-snapshot path.
+  fall-back-to-earlier-snapshot path;
+* **poisoned inference forwards** — :meth:`ChaosMonkey.maybe_fail_forward`
+  raises whenever a forward batch contains a poisoned request key,
+  exercising the serving layer's batch-failure isolation: the batch
+  retry must degrade *only* the poisoned requests to the similarity
+  fallback (``MatchOutcome.degraded``), never their batch neighbors.
 
 The harness only ever fires where a loop explicitly calls its hooks, so
 production runs (``chaos=None``) pay nothing.
@@ -52,12 +57,18 @@ class ChaosConfig:
     nan_grad_steps: frozenset[int] = field(default_factory=frozenset)
     #: Global steps at which the loop dies before applying the update.
     crash_steps: frozenset[int] = field(default_factory=frozenset)
+    #: Request keys whose inference forwards always fail (serving faults;
+    #: unlike the step-pinned faults these fire *every* time, so batch
+    #: retries cannot quietly absorb them — degradation must happen).
+    poison_forward_rows: frozenset[int] = field(default_factory=frozenset)
     #: Seed for choosing which parameter/elements to poison.
     seed: int = 0
 
     def __post_init__(self):
         self.nan_grad_steps = frozenset(int(s) for s in self.nan_grad_steps)
         self.crash_steps = frozenset(int(s) for s in self.crash_steps)
+        self.poison_forward_rows = frozenset(
+            int(r) for r in self.poison_forward_rows)
 
 
 class ChaosMonkey:
@@ -93,6 +104,21 @@ class ChaosMonkey:
                 and step not in self._fired_crash:
             self._fired_crash.add(step)
             raise CrashInjected(step)
+
+    def maybe_fail_forward(self, keys) -> None:
+        """Raise if any of ``keys`` is a poisoned forward target.
+
+        Used as a :meth:`repro.matching.MatchEngine.score_pairs`
+        ``forward_hook``: a batch containing a poisoned request fails
+        wholesale, and the per-row retry then fails again for exactly
+        the poisoned rows — so only those degrade to the fallback.
+        """
+        poisoned = self.config.poison_forward_rows.intersection(
+            int(k) for k in keys)
+        if poisoned:
+            raise RuntimeError(
+                f"chaos: poisoned forward for request(s) "
+                f"{sorted(poisoned)} (injected inference fault)")
 
 
 def corrupt_checkpoint(path: str | Path, seed: int = 0,

@@ -1,0 +1,187 @@
+"""Scoring backends pluggable into :class:`repro.serve.MatchService`.
+
+A backend is anything with::
+
+    score(pairs, keys, threshold, fallback, forward_hook=None, cb=None)
+        -> list[MatchOutcome]   # one per pair, in order, index = key
+
+The service drains a chunk of queued requests and hands the whole chunk
+to the backend; the backend owns batching within the chunk, per-pair
+failure isolation, and degradation semantics.  Three implementations:
+
+* :class:`MatcherBackend` — the real thing: a fitted
+  :class:`repro.matching.EntityMatcher` scored through its shared
+  :class:`~repro.matching.MatchEngine`, so service probabilities are
+  bit-identical to ``match_many``;
+* :class:`DeepMatcherBackend` — the DeepMatcher baseline behind the
+  same interface, proving the service is architecture-agnostic;
+* :class:`CallableBackend` — wraps a plain ``f(entity_a, entity_b) ->
+  probability`` function; used by the queueing/timeout/backpressure
+  tests, which need deterministic scores without model weights.
+"""
+
+from __future__ import annotations
+
+from ..data import EMDataset, EntityPair, Record
+from ..resilience import MatchOutcome, fallback_probability
+
+__all__ = ["MatcherBackend", "DeepMatcherBackend", "CallableBackend"]
+
+
+def _as_record(entity) -> Record:
+    return entity if isinstance(entity, Record) else Record(dict(entity))
+
+
+class MatcherBackend:
+    """Serve a fitted :class:`repro.matching.EntityMatcher`.
+
+    Built once per service: :meth:`~repro.matching.EntityMatcher.engine`
+    snapshots the fitted classifier/tokenizer into a
+    :class:`~repro.matching.MatchEngine`, the exact scorer behind
+    ``match_many(fast=True)`` — which is what makes the service's
+    decision-equivalence guarantee hold.
+    """
+
+    def __init__(self, matcher, batch_size: int = 64):
+        self._engine = matcher.engine()
+        self._batch_size = batch_size
+
+    def score(self, pairs, keys, threshold: float, fallback: bool,
+              forward_hook=None, cb=None) -> list[MatchOutcome]:
+        return self._engine.score_pairs(
+            pairs, threshold=threshold, fallback=fallback, cb=cb,
+            batch_size=self._batch_size, keys=keys,
+            forward_hook=forward_hook)
+
+
+class DeepMatcherBackend:
+    """Serve the fitted DeepMatcher baseline.
+
+    Wraps request pairs into a throwaway :class:`~repro.data.EMDataset`
+    (labels are placeholders — only ``predict_proba`` is used) and
+    applies the same isolation contract as the engine: a failed chunk
+    forward is retried pair by pair, and pairs that still fail degrade
+    to the classical-similarity fallback.
+    """
+
+    def __init__(self, deepmatcher, schema: list[str],
+                 text_attributes: list[str] | None = None,
+                 domain: str = "serve"):
+        self._dm = deepmatcher
+        self._schema = list(schema)
+        self._text_attributes = (list(text_attributes)
+                                 if text_attributes else None)
+        self._domain = domain
+
+    def _dataset(self, pairs) -> EMDataset:
+        return EMDataset(
+            name="serve-chunk", domain=self._domain,
+            schema=list(self._schema),
+            pairs=[EntityPair(_as_record(a), _as_record(b), 0)
+                   for a, b in pairs],
+            text_attributes=self._text_attributes)
+
+    def _degraded(self, key, entity_a, entity_b, error: str,
+                  threshold: float, fallback: bool, cb) -> MatchOutcome:
+        probability = 0.0
+        if fallback:
+            attributes = self._text_attributes or self._schema
+            try:
+                probability = fallback_probability(
+                    _as_record(entity_a).text_blob(attributes),
+                    _as_record(entity_b).text_blob(attributes))
+            except Exception as exc:  # noqa: BLE001
+                error += f"; fallback failed too ({exc})"
+        if cb:
+            cb.on_recovery({
+                "phase": "serve", "reason": "pair_failure",
+                "action": ("similarity_fallback" if fallback
+                           else "skipped"),
+                "index": key, "error": error})
+        return MatchOutcome(
+            index=key, probability=probability,
+            matched=fallback and probability >= threshold,
+            degraded=True, error=error)
+
+    def _score_one(self, key, entity_a, entity_b, threshold: float,
+                   fallback: bool, forward_hook, cb) -> MatchOutcome:
+        try:
+            if forward_hook is not None:
+                forward_hook([key])
+            probability = float(self._dm.predict_proba(
+                self._dataset([(entity_a, entity_b)]))[0])
+        except Exception as exc:  # noqa: BLE001 — isolation point
+            return self._degraded(key, entity_a, entity_b,
+                                  f"{type(exc).__name__}: {exc}",
+                                  threshold, fallback, cb)
+        return MatchOutcome(index=key, probability=probability,
+                            matched=probability >= threshold)
+
+    def score(self, pairs, keys, threshold: float, fallback: bool,
+              forward_hook=None, cb=None) -> list[MatchOutcome]:
+        pairs = list(pairs)
+        keys = list(keys)
+        if len(keys) != len(pairs):
+            raise ValueError(f"{len(pairs)} pairs but {len(keys)} keys")
+        try:
+            if forward_hook is not None:
+                forward_hook(keys)
+            probabilities = self._dm.predict_proba(self._dataset(pairs))
+        except Exception:  # noqa: BLE001 — retry singly, like the engine
+            return [self._score_one(key, entity_a, entity_b, threshold,
+                                    fallback, forward_hook, cb)
+                    for key, (entity_a, entity_b) in zip(keys, pairs)]
+        return [MatchOutcome(index=key, probability=float(p),
+                             matched=float(p) >= threshold)
+                for key, p in zip(keys, probabilities)]
+
+
+class CallableBackend:
+    """Adapt ``f(entity_a, entity_b) -> probability`` to the interface.
+
+    The workhorse of the deterministic service tests: scoring is
+    instant and exact, so tests exercise pure queueing behavior
+    (coalescing, deadlines, backpressure) without fitting a model.  A
+    raised scoring function (or a poisoned forward hook) degrades that
+    pair with probability 0.0.
+    """
+
+    def __init__(self, fn):
+        self._fn = fn
+
+    def _score_one(self, key, entity_a, entity_b, threshold: float,
+                   fallback: bool, forward_hook, cb) -> MatchOutcome:
+        try:
+            if forward_hook is not None:
+                forward_hook([key])
+            probability = float(self._fn(entity_a, entity_b))
+        except Exception as exc:  # noqa: BLE001 — isolation point
+            if cb:
+                cb.on_recovery({
+                    "phase": "serve", "reason": "pair_failure",
+                    "action": "skipped", "index": key,
+                    "error": f"{type(exc).__name__}: {exc}"})
+            return MatchOutcome(
+                index=key, probability=0.0, matched=False,
+                degraded=True, error=f"{type(exc).__name__}: {exc}")
+        return MatchOutcome(index=key, probability=probability,
+                            matched=probability >= threshold)
+
+    def score(self, pairs, keys, threshold: float, fallback: bool,
+              forward_hook=None, cb=None) -> list[MatchOutcome]:
+        pairs = list(pairs)
+        keys = list(keys)
+        if len(keys) != len(pairs):
+            raise ValueError(f"{len(pairs)} pairs but {len(keys)} keys")
+        try:
+            if forward_hook is not None:
+                forward_hook(keys)
+            return [MatchOutcome(index=key,
+                                 probability=float(self._fn(a, b)),
+                                 matched=float(self._fn(a, b))
+                                 >= threshold)
+                    for key, (a, b) in zip(keys, pairs)]
+        except Exception:  # noqa: BLE001 — retry singly, like the engine
+            return [self._score_one(key, a, b, threshold, fallback,
+                                    forward_hook, cb)
+                    for key, (a, b) in zip(keys, pairs)]

@@ -1,0 +1,476 @@
+"""In-process entity-matching service with dynamic micro-batching.
+
+:class:`MatchService` turns the single-caller ``match_many`` batch API
+into a request-level serving path: producers submit individual pairs
+(or small batches) from any thread and get a :class:`MatchTicket`
+(future) back; worker threads coalesce pending requests into
+length-bucketed model batches under a ``max_batch_size`` /
+``max_wait_ms`` policy and complete the tickets.
+
+The contract, end to end:
+
+* **Equivalence** — scoring runs on the shared
+  :class:`repro.matching.MatchEngine`, so a drained chunk produces the
+  same floats ``match_many`` would for the same pairs (with
+  ``max_batch_size >= len(pairs)`` and a quiet queue, bit-identical).
+* **Admission control** — the queue is bounded (``max_queue``); a full
+  queue rejects with :class:`ServiceOverloaded`, carrying a
+  ``retry_after`` hint, instead of buffering without bound.
+* **Deadlines** — a request whose ``timeout_ms`` elapses while queued
+  completes with a typed :class:`RequestTimeout`, never a silent drop.
+* **Degradation** — a poisoned batch forward degrades only the
+  affected requests to the classical-similarity fallback
+  (``MatchOutcome.degraded``); batch neighbors are retried and served
+  normally (the engine's isolation semantics).
+* **Observability** — queue depth gauge, batch-size / batch-wait /
+  request-latency histograms, and request/completion/rejection/timeout/
+  degradation counters under ``serve.*`` in :mod:`repro.obs`.
+
+All timing goes through :class:`repro.serve.clock.Clock`; with a
+:class:`~repro.serve.clock.VirtualClock` the whole service runs in
+simulated time for deterministic tests (see :mod:`repro.serve.sim`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from ..obs import CallbackList, default_registry
+from .clock import Clock, SystemClock
+
+__all__ = ["ServeConfig", "ServeError", "ServiceClosed",
+           "ServiceOverloaded", "RequestTimeout", "MatchTicket",
+           "MatchService"]
+
+
+@dataclass
+class ServeConfig:
+    """Micro-batching and admission-control policy.
+
+    ``max_batch_size`` requests are coalesced per drain; a partial
+    batch is flushed once the oldest pending request has waited
+    ``max_wait_ms``.  ``forward_batch_size`` bounds the model batches
+    *within* a drain (length-bucketed; defaults to ``max_batch_size``).
+    ``max_queue`` bounds the pending queue — beyond it submissions are
+    rejected with :class:`ServiceOverloaded`.  ``default_timeout_ms``
+    applies to requests submitted without an explicit deadline
+    (``None`` = no deadline).
+    """
+
+    max_batch_size: int = 32
+    max_wait_ms: float = 5.0
+    forward_batch_size: int | None = None
+    max_queue: int = 256
+    default_timeout_ms: float | None = None
+    threshold: float = 0.5
+    fallback: bool = True
+    num_workers: int = 1
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got "
+                             f"{self.max_batch_size}")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got "
+                             f"{self.max_wait_ms}")
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got "
+                             f"{self.max_queue}")
+        if self.num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got "
+                             f"{self.num_workers}")
+        if self.forward_batch_size is None:
+            self.forward_batch_size = self.max_batch_size
+        if self.forward_batch_size < 1:
+            raise ValueError(f"forward_batch_size must be >= 1, got "
+                             f"{self.forward_batch_size}")
+
+
+class ServeError(RuntimeError):
+    """Base class for serving-layer failures."""
+
+
+class ServiceClosed(ServeError):
+    """The service is shut down (or was closed before processing)."""
+
+
+class ServiceOverloaded(ServeError):
+    """Admission control: the bounded queue is full.
+
+    ``retry_after`` is a backoff hint in seconds — the estimated time
+    for the batcher to drain the current backlog (queue depth over
+    batch capacity, one ``max_wait_ms`` flush horizon per drain).
+    """
+
+    def __init__(self, depth: int, retry_after: float):
+        super().__init__(
+            f"queue full ({depth} pending); retry after "
+            f"~{retry_after * 1000:.0f} ms")
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+class RequestTimeout(ServeError):
+    """A request's deadline expired before it reached the model."""
+
+    def __init__(self, request_id: int, waited: float):
+        super().__init__(
+            f"request {request_id} timed out after queueing "
+            f"{waited * 1000:.1f} ms")
+        self.request_id = request_id
+        self.waited = waited
+
+
+class MatchTicket:
+    """Per-request future returned by :meth:`MatchService.submit`.
+
+    ``result()`` blocks until the batcher completes the request and
+    returns its :class:`repro.resilience.MatchOutcome` (with ``index``
+    set to this ticket's ``request_id``) — or raises the typed error
+    (:class:`RequestTimeout`, :class:`ServiceClosed`) the request
+    failed with.  The optional ``timeout`` is *real* seconds (a safety
+    valve for callers), not clock time.
+    """
+
+    def __init__(self, request_id: int, submitted_at: float):
+        self.request_id = request_id
+        self.submitted_at = submitted_at
+        self.completed_at: float | None = None
+        self._event = threading.Event()
+        self._outcome = None
+        self._error: Exception | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None):
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} still pending after "
+                f"{timeout}s (real time)")
+        if self._error is not None:
+            raise self._error
+        return self._outcome
+
+    def exception(self, timeout: float | None = None) -> Exception | None:
+        """The typed failure, if any, without raising it."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} still pending after "
+                f"{timeout}s (real time)")
+        return self._error
+
+    @property
+    def latency(self) -> float | None:
+        """Submit-to-completion clock seconds (None while pending)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    def _complete(self, outcome, now: float) -> None:
+        self._outcome = outcome
+        self.completed_at = now
+        self._event.set()
+
+    def _fail(self, error: Exception, now: float) -> None:
+        self._error = error
+        self.completed_at = now
+        self._event.set()
+
+
+class _Request:
+    """Internal queue entry: one pair plus its routing/deadline state."""
+
+    __slots__ = ("id", "entity_a", "entity_b", "enqueued_at", "deadline",
+                 "ticket")
+
+    def __init__(self, request_id: int, entity_a, entity_b,
+                 enqueued_at: float, deadline: float | None):
+        self.id = request_id
+        self.entity_a = entity_a
+        self.entity_b = entity_b
+        self.enqueued_at = enqueued_at
+        self.deadline = deadline
+        self.ticket = MatchTicket(request_id, enqueued_at)
+
+
+class MatchService:
+    """Thread-safe micro-batching front end over a scoring backend.
+
+    ``backend`` is any object with the :class:`repro.serve.backends`
+    ``score(pairs, keys, threshold, fallback, forward_hook, cb)``
+    signature — :class:`~repro.serve.backends.MatcherBackend` for the
+    transformer matcher, :class:`~repro.serve.backends
+    .DeepMatcherBackend` for the baseline, or a custom scorer.
+
+    Usage::
+
+        with MatchService(MatcherBackend(matcher)) as service:
+            ticket = service.submit(record_a, record_b)
+            outcome = ticket.result()
+
+    ``chaos`` accepts a :class:`repro.resilience.ChaosMonkey`; its
+    ``maybe_fail_forward`` runs before every model forward so tests can
+    inject batch failures deterministically.
+    """
+
+    def __init__(self, backend, config: ServeConfig | None = None,
+                 clock: Clock | None = None, registry=None, chaos=None,
+                 callbacks=None):
+        self._backend = backend
+        self.config = config or ServeConfig()
+        self.clock = clock or SystemClock()
+        self._chaos = chaos
+        self._cb = CallbackList.resolve(callbacks, None)
+        self._cond = self.clock.condition()
+        self._pending: deque[_Request] = deque()
+        self._inflight = 0
+        self._ids = itertools.count()
+        self._closed = False
+        self._workers: list[threading.Thread] = []
+        registry = registry if registry is not None else default_registry()
+        self._registry = registry
+        self._queue_depth = registry.gauge("serve.queue.depth")
+        self._requests = registry.counter("serve.requests")
+        self._completed = registry.counter("serve.completed")
+        self._rejected = registry.counter("serve.rejected")
+        self._timeouts = registry.counter("serve.timeouts")
+        self._degraded = registry.counter("serve.degraded")
+        self._batch_size = registry.histogram("serve.batch.size")
+        self._batch_wait = registry.histogram("serve.batch.wait_seconds")
+        self._latency = registry.histogram("serve.latency_seconds")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "MatchService":
+        """Spawn the worker pool (idempotent)."""
+        if self._closed:
+            raise ServiceClosed("cannot start a closed service")
+        if not self._workers:
+            for worker_id in range(self.config.num_workers):
+                thread = threading.Thread(
+                    target=self._worker_loop, daemon=True,
+                    name=f"repro-serve-worker-{worker_id}")
+                thread.start()
+                self._workers.append(thread)
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Shut down: stop admissions, flush (or fail) the queue, join.
+
+        With ``drain=True`` (default) workers process everything still
+        pending before exiting; with ``drain=False`` pending requests
+        fail immediately with :class:`ServiceClosed`.
+        """
+        with self._cond:
+            self._closed = True
+            abandoned: list[_Request] = []
+            if not drain or not self._workers:
+                abandoned = list(self._pending)
+                self._pending.clear()
+                self._queue_depth.set(0)
+            self._cond.notify_all()
+        now = self.clock.now()
+        for request in abandoned:
+            request.ticket._fail(
+                ServiceClosed(f"service closed before request "
+                              f"{request.id} was processed"), now)
+        for thread in self._workers:
+            thread.join()
+        self._workers = []
+
+    def __enter__(self) -> "MatchService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- submission ----------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    @property
+    def inflight(self) -> int:
+        """Batches currently being scored by workers."""
+        with self._cond:
+            return self._inflight
+
+    @property
+    def settled(self) -> bool:
+        """True when workers have fully reacted to everything visible.
+
+        The quiescence probe behind deterministic simulation
+        (:func:`repro.serve.sim.run_simulation`): virtual time may only
+        advance when nothing is mid-scoring and the queue is either
+        empty or parked behind an armed flush timer (with room to
+        spare — a full batch is about to be drained without any timer,
+        so it counts as unsettled until the drain happens).
+        """
+        pending_timers = getattr(self.clock, "pending_timers", None)
+        with self._cond:
+            if self._inflight:
+                return False
+            if not self._pending:
+                return True
+            return (pending_timers is not None and pending_timers() > 0
+                    and len(self._pending) < self.config.max_batch_size)
+
+    def _retry_after_locked(self) -> float:
+        drains = math.ceil(len(self._pending)
+                           / self.config.max_batch_size)
+        return max(drains, 1) * self.config.max_wait_ms / 1000.0
+
+    def _admit_locked(self, entity_a, entity_b,
+                      timeout_ms: float | None) -> _Request:
+        now = self.clock.now()
+        if timeout_ms is None:
+            timeout_ms = self.config.default_timeout_ms
+        deadline = None if timeout_ms is None \
+            else now + timeout_ms / 1000.0
+        request = _Request(next(self._ids), entity_a, entity_b, now,
+                           deadline)
+        self._pending.append(request)
+        self._requests.inc()
+        return request
+
+    def submit(self, entity_a, entity_b,
+               timeout_ms: float | None = None) -> MatchTicket:
+        """Enqueue one pair; returns its :class:`MatchTicket`.
+
+        Raises :class:`ServiceOverloaded` when the queue is full and
+        :class:`ServiceClosed` after :meth:`close`.
+        """
+        with self._cond:
+            if self._closed:
+                raise ServiceClosed("service is closed to new requests")
+            if len(self._pending) >= self.config.max_queue:
+                self._rejected.inc()
+                raise ServiceOverloaded(len(self._pending),
+                                        self._retry_after_locked())
+            request = self._admit_locked(entity_a, entity_b, timeout_ms)
+            self._queue_depth.set(len(self._pending))
+            self._cond.notify_all()
+            return request.ticket
+
+    def submit_many(self, pairs,
+                    timeout_ms: float | None = None) -> list[MatchTicket]:
+        """Atomically enqueue a batch of ``(entity_a, entity_b)`` pairs.
+
+        All-or-nothing admission: if the batch does not fit in the
+        remaining queue space, the whole batch is rejected with
+        :class:`ServiceOverloaded` (partial admission would complete a
+        random prefix, which no caller can reason about).
+        """
+        pairs = list(pairs)
+        with self._cond:
+            if self._closed:
+                raise ServiceClosed("service is closed to new requests")
+            if len(self._pending) + len(pairs) > self.config.max_queue:
+                self._rejected.inc(len(pairs))
+                raise ServiceOverloaded(len(self._pending),
+                                        self._retry_after_locked())
+            tickets = [
+                self._admit_locked(entity_a, entity_b, timeout_ms).ticket
+                for entity_a, entity_b in pairs]
+            self._queue_depth.set(len(self._pending))
+            self._cond.notify_all()
+            return tickets
+
+    # -- the micro-batcher ---------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            try:
+                self._process(batch)
+            finally:
+                with self._cond:
+                    self._inflight -= 1
+
+    def _next_batch(self) -> list[_Request] | None:
+        """Block until a batch is due; None when closed and drained.
+
+        Coalescing policy: once the queue is non-empty, wait until
+        either ``max_batch_size`` requests are pending or the oldest
+        has waited ``max_wait_ms``, then drain up to
+        ``max_batch_size`` in FIFO order.
+        """
+        config = self.config
+        max_wait = config.max_wait_ms / 1000.0
+        full = lambda: (len(self._pending) >= config.max_batch_size
+                        or self._closed)
+        with self._cond:
+            while True:
+                self._cond.wait_for(
+                    lambda: self._pending or self._closed)
+                if self._pending:
+                    flush_at = self._pending[0].enqueued_at + max_wait
+                    while not full():
+                        remaining = flush_at - self.clock.now()
+                        if remaining <= 0:
+                            break
+                        self._cond.wait_for(full, timeout=remaining)
+                    if not self._pending:
+                        continue  # another worker drained it
+                    count = min(len(self._pending),
+                                config.max_batch_size)
+                    batch = [self._pending.popleft()
+                             for _ in range(count)]
+                    self._queue_depth.set(len(self._pending))
+                    self._inflight += 1
+                    return batch
+                if self._closed:
+                    return None
+
+    def _forward_hook(self, keys) -> None:
+        if self._chaos is not None:
+            self._chaos.maybe_fail_forward(keys)
+
+    def _process(self, batch: list[_Request]) -> None:
+        now = self.clock.now()
+        self._batch_size.observe(len(batch))
+        self._batch_wait.observe(now - batch[0].enqueued_at)
+        live: list[_Request] = []
+        for request in batch:
+            if request.deadline is not None and now >= request.deadline:
+                self._timeouts.inc()
+                request.ticket._fail(
+                    RequestTimeout(request.id,
+                                   waited=now - request.enqueued_at),
+                    now)
+            else:
+                live.append(request)
+        if not live:
+            return
+        try:
+            outcomes = self._backend.score(
+                [(r.entity_a, r.entity_b) for r in live],
+                keys=[r.id for r in live],
+                threshold=self.config.threshold,
+                fallback=self.config.fallback,
+                forward_hook=self._forward_hook,
+                cb=self._cb)
+        except Exception as exc:  # noqa: BLE001 — backends isolate; this
+            # is the last-resort boundary keeping tickets from hanging.
+            done = self.clock.now()
+            for request in live:
+                request.ticket._fail(
+                    ServeError(f"backend failed wholesale: "
+                               f"{type(exc).__name__}: {exc}"), done)
+            return
+        done = self.clock.now()
+        for request, outcome in zip(live, outcomes):
+            self._completed.inc()
+            if outcome.degraded:
+                self._degraded.inc()
+            self._latency.observe(done - request.enqueued_at)
+            request.ticket._complete(outcome, done)

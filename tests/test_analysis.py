@@ -34,7 +34,7 @@ class TestSelfLint:
 
     def test_rule_catalog(self):
         rules = available_rules()
-        assert len(rules) == 10
+        assert len(rules) == 11
         ids = [r.id for r in rules]
         assert len(set(ids)) == len(ids)
         assert all(r.id.startswith("RA") and r.name and r.hint
@@ -160,6 +160,33 @@ class TestLintRules:
                   "def match_all(pairs, classifier):\n"
                   "    return [classifier(p) for p in pairs]\n")
         assert not _only(source, "RA110", package="repro.baselines.x")
+
+    def test_ra111_blocking_sleep_in_serve(self):
+        bad = ("import time\n"
+               "def wait_for_batch(cond):\n"
+               "    time.sleep(0.005)\n"
+               "    cond.wait(timeout=0.005)\n")
+        hits = _only(bad, "RA111", package="repro.serve.service")
+        assert [v.line for v in hits] == [3]
+
+    def test_ra111_timed_threading_wait(self):
+        source = ("def park(lock, event):\n"
+                  "    event.wait(timeout=1.0)\n"
+                  "    lock.acquire(timeout=1.0)\n")
+        hits = _only(source, "RA111", package="repro.serve.service")
+        assert [v.line for v in hits] == [2, 3]
+
+    def test_ra111_clock_condition_waits_allowed(self):
+        source = ("def park(cond, clock):\n"
+                  "    cond.wait_for(lambda: True, timeout=1.0)\n"
+                  "    clock.sleep(0.1)\n")
+        assert not _only(source, "RA111", package="repro.serve.service")
+
+    def test_ra111_only_applies_to_serve(self):
+        source = "import time\ndef f():\n    time.sleep(1)\n"
+        assert not _only(source, "RA111", package="repro.matching.api")
+        assert not _only(source, "RA111", package="repro.serve.clock")
+        assert _only(source, "RA111", package="repro.serve.sim")
 
     def test_ra108_legacy_global_rng(self):
         source = ("import numpy as np\n"

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.resilience",
     "repro.perf",
+    "repro.serve",
 ]
 
 
