@@ -33,6 +33,10 @@ RA111  blocking-sleep-in-serve        ``time.sleep`` (or timed real waits) in
                                       the serving stack outside the Clock
                                       abstraction — breaks the virtual-clock
                                       test harness
+RA112  span-without-context-manager   lexically scoped spans/stages opened in
+                                      ``repro.serve``/``repro.matching``
+                                      without ``with`` — an exception between
+                                      open and close leaks the span
 ====== ============================== ==========================================
 
 Usage::
@@ -764,6 +768,79 @@ class _BlockingSleepInServe(LintRule):
         return False
 
 
+class _SpanWithoutContextManager(LintRule):
+    """Lexically scoped tracing blocks (``tracer.span`` /
+    ``stages.stage`` / ``tracer.start``) time the enclosed code; called
+    bare, the span never closes when the block raises, and its
+    duration silently absorbs everything until someone remembers to
+    end it.  The cross-thread lifecycle API
+    (``begin_request``/``child``/``end``/``finish``) is deliberately
+    exempt — a request span *cannot* be lexically scoped because it
+    crosses threads (see ``repro.obs.context``)."""
+
+    id = "RA112"
+    name = "span-without-context-manager"
+    hint = ("open the span with `with tracer.span(...):` / "
+            "`with stages.stage(...):` (or scope.enter_context(...)); "
+            "use the begin_request/finish lifecycle API for spans that "
+            "cross threads")
+
+    _PACKAGES = ("repro.serve", "repro.matching")
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if not any(module.in_package(p) for p in self._PACKAGES):
+            return
+        scoped = self._scoped_calls(module.tree)
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            if id(node) in scoped:
+                continue
+            attr = node.func.attr
+            receiver = self._receiver_name(node.func.value)
+            if attr in ("span", "stage"):
+                yield self.violation(
+                    module, node,
+                    f"{receiver or '<expr>'}.{attr}(...) opened without "
+                    f"`with` — the span never closes if the block "
+                    f"raises; only the begin_request/finish lifecycle "
+                    f"API may be called bare")
+            elif attr == "start" and "trace" in receiver.lower():
+                yield self.violation(
+                    module, node,
+                    f"{receiver}.start(...) opened without `with` — "
+                    f"wrap the traced block in a context manager so the "
+                    f"span closes on every exit path")
+
+    @staticmethod
+    def _receiver_name(node: ast.AST) -> str:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return ""
+
+    @staticmethod
+    def _scoped_calls(tree: ast.Module) -> set[int]:
+        """ids of Call nodes used as with-items or enter_context args."""
+        scoped: set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.context_expr, ast.Call):
+                        scoped.add(id(item.context_expr))
+            elif isinstance(node, ast.Call):
+                callee = node.func
+                name = callee.attr if isinstance(callee, ast.Attribute) \
+                    else getattr(callee, "id", "")
+                if name == "enter_context":
+                    for arg in node.args:
+                        if isinstance(arg, ast.Call):
+                            scoped.add(id(arg))
+        return scoped
+
+
 _RULES: tuple[LintRule, ...] = (
     _TensorDataNumpyCall(),
     _HardCodedFloatDtype(),
@@ -776,6 +853,7 @@ _RULES: tuple[LintRule, ...] = (
     _NonAtomicArtifactWrite(),
     _ForwardOutsideNoGrad(),
     _BlockingSleepInServe(),
+    _SpanWithoutContextManager(),
 )
 
 

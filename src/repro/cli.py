@@ -23,6 +23,11 @@ Commands
 ``telemetry``
     Render a report (spans, op-FLOP table, loss/F1 curves) from a
     telemetry JSONL file produced by ``match --telemetry``.
+``obs``
+    Serving observability tools; ``obs top`` renders the live terminal
+    dashboard (queue depth, latency quantiles, error budget, slowest
+    traces) from a ``/metrics`` endpoint (``--url``) or the
+    deterministic virtual-clock demo (``--demo``).
 ``lint``
     Run the repo-specific static analysis rules over source paths.
 ``audit``
@@ -124,6 +129,25 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("telemetry",
                        help="render a report from a telemetry JSONL file")
     p.add_argument("jsonl", help="path to a run's .jsonl event stream")
+
+    p = sub.add_parser("obs", help="serving observability tools")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    t = obs_sub.add_parser(
+        "top", help="terminal dashboard: queue depth, latency "
+                    "quantiles, error budget, slowest traces")
+    t.add_argument("--url", default=None,
+                   help="scrape a MetricsHTTPServer, e.g. "
+                        "http://127.0.0.1:9100")
+    t.add_argument("--demo", action="store_true",
+                   help="render the deterministic virtual-clock demo "
+                        "workload instead of scraping")
+    t.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between live redraws (default 2)")
+    t.add_argument("--iterations", type=int, default=None,
+                   help="render N frames then exit (default: loop on a "
+                        "TTY, one snapshot otherwise)")
+    t.add_argument("--snapshot", action="store_true",
+                   help="force one-shot snapshot mode even on a TTY")
 
     p = sub.add_parser("lint", help="run the autodiff-aware linter")
     p.add_argument("paths", nargs="+",
@@ -334,6 +358,32 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    from .obs.top import demo_state, gather_url, run_top
+    if args.url and args.demo:
+        print("error: --url and --demo are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.url:
+        url = args.url
+
+        def gather():
+            return gather_url(url)
+    elif args.demo:
+        gather = demo_state
+    else:
+        print("error: choose a source: --demo or --url URL",
+              file=sys.stderr)
+        return 2
+    try:
+        return run_top(gather, interval=args.interval,
+                       iterations=args.iterations,
+                       live=False if args.snapshot else None)
+    except OSError as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_lint(args) -> int:
     from .analysis import available_rules, format_json, format_text, \
         lint_paths
@@ -435,6 +485,7 @@ _COMMANDS = {
     "table": _cmd_table,
     "figure": _cmd_figure,
     "telemetry": _cmd_telemetry,
+    "obs": _cmd_obs,
     "lint": _cmd_lint,
     "audit": _cmd_audit,
     "bench": _cmd_bench,

@@ -32,10 +32,12 @@ exactly these semantics on exactly the same floats:
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 
 import numpy as np
 
 from ..nn import no_grad
+from ..nn.fused import count_kernels
 from ..obs import default_registry
 from ..resilience import MatchOutcome, fallback_probability
 from .serializer import EncodedPairs, iter_bucketed, uniform_cls_index
@@ -101,12 +103,16 @@ class MatchEngine:
 
     def score_pairs(self, pairs, threshold: float = 0.5,
                     fallback: bool = True, cb=None, batch_size: int = 64,
-                    keys=None, forward_hook=None) -> list[MatchOutcome]:
+                    keys=None, forward_hook=None,
+                    stages=None) -> list[MatchOutcome]:
         """Score ``pairs``; one :class:`MatchOutcome` per pair, in order.
 
         ``keys`` (default ``range(len(pairs))``) become the outcomes'
         ``index`` values; ``forward_hook(batch_keys)`` runs inside the
-        isolation boundary before every model forward.
+        isolation boundary before every model forward.  ``stages`` (a
+        :class:`repro.obs.context.BatchStages`) receives clock-timed
+        ``tokenize`` / ``forward`` records — the forward record also
+        carries the fused-kernel invocation mix.
         """
         pairs = list(pairs)
         keys = list(keys) if keys is not None else list(range(len(pairs)))
@@ -117,54 +123,68 @@ class MatchEngine:
         encode_t0 = time.perf_counter()
         kept: list[int] = []          # position in ``pairs`` per encoded row
         encodings = []
-        for position, (entity_a, entity_b) in enumerate(pairs):
-            try:
-                text_a, text_b = self._pair_texts(entity_a, entity_b)
-                enc = self._tokenizer.encode_pair(
-                    text_a, text_b, max_length=self._max_length)
-            except Exception as exc:  # noqa: BLE001 — isolation point
-                outcomes[position] = self.degraded_outcome(
-                    keys[position], entity_a, entity_b,
-                    f"{type(exc).__name__}: {exc}", threshold, fallback,
-                    cb)
-                continue
-            kept.append(position)
-            encodings.append(enc)
+        with ExitStack() as scope:
+            if stages is not None:
+                scope.enter_context(stages.stage("tokenize",
+                                                 pairs=len(pairs)))
+            for position, (entity_a, entity_b) in enumerate(pairs):
+                try:
+                    text_a, text_b = self._pair_texts(entity_a, entity_b)
+                    enc = self._tokenizer.encode_pair(
+                        text_a, text_b, max_length=self._max_length)
+                except Exception as exc:  # noqa: BLE001 — isolation point
+                    outcomes[position] = self.degraded_outcome(
+                        keys[position], entity_a, entity_b,
+                        f"{type(exc).__name__}: {exc}", threshold,
+                        fallback, cb)
+                    continue
+                kept.append(position)
+                encodings.append(enc)
         encode_seconds = time.perf_counter() - encode_t0
 
         forward_t0 = time.perf_counter()
-        if encodings:
-            encoded = EncodedPairs(
-                np.stack([e.input_ids for e in encodings]),
-                np.stack([e.segment_ids for e in encodings]),
-                np.stack([e.pad_mask for e in encodings]),
-                np.asarray([e.cls_index for e in encodings]),
-                np.zeros(len(encodings), dtype=np.int64))
-            classifier = self._classifier
-            classifier.eval()
-            with no_grad():
-                for rows, batch in iter_bucketed(encoded, batch_size):
-                    try:
-                        if forward_hook is not None:
-                            forward_hook([keys[kept[int(r)]]
-                                          for r in rows])
-                        probs = classifier.predict_proba(
-                            batch.input_ids,
-                            segment_ids=batch.segment_ids,
-                            pad_mask=batch.pad_masks,
-                            cls_index=uniform_cls_index(
-                                batch.cls_indices))[:, 1]
-                    except Exception:  # noqa: BLE001 — isolation point
-                        self._retry_rows(rows, kept, encodings, pairs,
-                                         keys, outcomes, threshold,
-                                         fallback, cb, forward_hook)
-                        continue
-                    for row, probability in zip(rows, probs):
-                        position = kept[int(row)]
-                        outcomes[position] = MatchOutcome(
-                            index=keys[position],
-                            probability=float(probability),
-                            matched=float(probability) >= threshold)
+        with ExitStack() as scope:
+            if stages is not None:
+                record = scope.enter_context(
+                    stages.stage("forward", rows=len(encodings)))
+                # The counts dict fills in place as kernels run, so
+                # wiring it into the record up front is safe.
+                record.attrs["kernels"] = scope.enter_context(
+                    count_kernels())
+            if encodings:
+                encoded = EncodedPairs(
+                    np.stack([e.input_ids for e in encodings]),
+                    np.stack([e.segment_ids for e in encodings]),
+                    np.stack([e.pad_mask for e in encodings]),
+                    np.asarray([e.cls_index for e in encodings]),
+                    np.zeros(len(encodings), dtype=np.int64))
+                classifier = self._classifier
+                classifier.eval()
+                with no_grad():
+                    for rows, batch in iter_bucketed(encoded, batch_size):
+                        try:
+                            if forward_hook is not None:
+                                forward_hook([keys[kept[int(r)]]
+                                              for r in rows])
+                            probs = classifier.predict_proba(
+                                batch.input_ids,
+                                segment_ids=batch.segment_ids,
+                                pad_mask=batch.pad_masks,
+                                cls_index=uniform_cls_index(
+                                    batch.cls_indices))[:, 1]
+                        except Exception:  # noqa: BLE001 — isolation
+                            # point
+                            self._retry_rows(rows, kept, encodings,
+                                             pairs, keys, outcomes,
+                                             threshold, fallback, cb,
+                                             forward_hook)
+                            continue
+                        for row, probability in zip(rows, probs):
+                            position = kept[int(row)]
+                            outcomes[position] = MatchOutcome(
+                                index=keys[position],
+                                probability=float(probability),
+                                matched=float(probability) >= threshold)
         forward_seconds = time.perf_counter() - forward_t0
 
         self._registry.gauge("perf.match.encode_seconds").set(

@@ -16,15 +16,54 @@ back to the differentiable path whenever gradients are required.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
+
 import numpy as np
 
 __all__ = ["linear", "gelu", "softmax", "layer_norm", "feed_forward",
-           "split_heads", "merge_heads", "attention_core"]
+           "split_heads", "merge_heads", "attention_core",
+           "count_kernels"]
+
+# Thread-local kernel observation hook: when the tracing layer wants to
+# know which fused kernels a forward pass engaged (and how often), it
+# installs a callback for the duration of the pass.  Thread-local so
+# concurrent serving workers never see each other's counts; the
+# disabled path costs one getattr + falsy check per kernel call.
+_HOOK = threading.local()
+
+
+def _notify(kind: str) -> None:
+    fn = getattr(_HOOK, "fn", None)
+    if fn is not None:
+        fn(kind)
+
+
+@contextmanager
+def count_kernels():
+    """Count fused-kernel invocations on this thread inside the block.
+
+    Yields a ``{kernel name: calls}`` dict that fills in as kernels run;
+    used by the serving trace layer to attach kernel mix to forward
+    spans.  Nests: the previous hook is restored on exit.
+    """
+    counts: dict[str, int] = {}
+
+    def bump(kind: str) -> None:
+        counts[kind] = counts.get(kind, 0) + 1
+
+    previous = getattr(_HOOK, "fn", None)
+    _HOOK.fn = bump
+    try:
+        yield counts
+    finally:
+        _HOOK.fn = previous
 
 
 def linear(x: np.ndarray, weight: np.ndarray,
            bias: np.ndarray | None = None) -> np.ndarray:
     """Affine map ``x @ W^T + b`` with ``W`` stored (out, in)."""
+    _notify("linear")
     out = x @ weight.T
     if bias is not None:
         out = out + bias
@@ -33,6 +72,7 @@ def linear(x: np.ndarray, weight: np.ndarray,
 
 def gelu(x: np.ndarray) -> np.ndarray:
     """GELU, tanh approximation — same arithmetic as :meth:`Tensor.gelu`."""
+    _notify("gelu")
     c = float(np.sqrt(2.0 / np.pi))
     inner = c * (x + 0.044715 * x ** 3)
     t = np.tanh(inner)
@@ -41,6 +81,7 @@ def gelu(x: np.ndarray) -> np.ndarray:
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Shift-stabilized softmax — same arithmetic as :meth:`Tensor.softmax`."""
+    _notify("softmax")
     shifted = x - x.max(axis=axis, keepdims=True)
     exp = np.exp(shifted)
     return exp / exp.sum(axis=axis, keepdims=True)
@@ -50,6 +91,7 @@ def layer_norm(x: np.ndarray, weight: np.ndarray, bias: np.ndarray,
                eps: float = 1e-5) -> np.ndarray:
     """Layer norm over the last axis — same arithmetic as
     :meth:`Tensor.layer_norm`."""
+    _notify("layer_norm")
     mu = x.mean(axis=-1, keepdims=True)
     var = x.var(axis=-1, keepdims=True)
     inv = 1.0 / np.sqrt(var + eps)
@@ -59,6 +101,7 @@ def layer_norm(x: np.ndarray, weight: np.ndarray, bias: np.ndarray,
 def feed_forward(x: np.ndarray, w_in: np.ndarray, b_in: np.ndarray,
                  w_out: np.ndarray, b_out: np.ndarray) -> np.ndarray:
     """The transformer FF block ``linear -> gelu -> linear``, fused."""
+    _notify("feed_forward")
     return linear(gelu(linear(x, w_in, b_in)), w_out, b_out)
 
 
@@ -92,6 +135,7 @@ def attention_core(q: np.ndarray | None, k: np.ndarray | None,
     scores) pass pre-scaled ``scores`` directly and may leave ``q``/``k``
     as None; only the bias -> mask -> softmax -> V tail runs then.
     """
+    _notify("attention_core")
     if scores is None:
         # float() strips numpy scalar types: they are not "weak" under
         # NEP 50 and would silently upcast float32 scores to float64,

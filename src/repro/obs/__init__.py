@@ -12,7 +12,16 @@ The cross-cutting instrumentation substrate (see DESIGN.md §8):
   that replaced the ad-hoc ``log=`` argument;
 * :mod:`repro.obs.profiler` — op-level FLOP/byte profiler for
   ``repro.nn``;
-* :mod:`repro.obs.report` — the ``repro telemetry`` report renderer.
+* :mod:`repro.obs.report` — the ``repro telemetry`` report renderer;
+* :mod:`repro.obs.context` — cross-thread request tracing
+  (:class:`TraceContext` / :class:`RequestTracer`) for the serving
+  stack (DESIGN.md §13);
+* :mod:`repro.obs.expo` — Prometheus text rendering, the
+  ``/metrics`` + ``/healthz`` scrape endpoint, and the JSONL span
+  exporter;
+* :mod:`repro.obs.slo` — declarative SLOs with multi-window burn-rate
+  alerting;
+* :mod:`repro.obs.top` — the ``repro obs top`` terminal dashboard.
 
 Disabled-by-default guarantee: with no callbacks registered and no sink
 attached, instrumented code paths cost one falsy check per step.
@@ -20,23 +29,37 @@ attached, instrumented code paths cost one falsy check per step.
 
 from .tracing import (Span, Timer, Tracer, aggregate_spans, default_tracer,
                       format_duration, trace)
-from .registry import (Counter, Gauge, Histogram, MetricsRegistry,
-                       default_registry)
+from .registry import (LATENCY_BUCKETS, CardinalityError, Counter, Gauge,
+                       Histogram, MetricsRegistry, default_registry)
 from .events import (EVENT_KINDS, SCHEMA_VERSION, EventSink, JsonlSink,
                      MemorySink, NullSink, TelemetryRun, read_events,
-                     validate_event)
+                     read_events_tolerant, validate_event)
 from .callbacks import (Callback, CallbackList, LoggingCallback,
                         TelemetryCallback)
 from .profiler import OpProfile, OpStats, profile
 from .report import load_report, render_report
+from .context import (BatchStages, RequestTracer, StageSpan, TraceContext,
+                      TraceSampler)
+from .expo import (MetricsHTTPServer, SpanExporter, parse_prometheus,
+                   render_prometheus)
+from .slo import (FAST_BURN, SLOW_BURN, SLO, Alert, BurnWindow, SLOMonitor,
+                  default_serve_slos)
 
 __all__ = [
     "Span", "Tracer", "trace", "default_tracer", "aggregate_spans",
     "Timer", "format_duration",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "default_registry",
+    "CardinalityError", "LATENCY_BUCKETS",
     "SCHEMA_VERSION", "EVENT_KINDS", "EventSink", "NullSink", "MemorySink",
-    "JsonlSink", "TelemetryRun", "read_events", "validate_event",
+    "JsonlSink", "TelemetryRun", "read_events", "read_events_tolerant",
+    "validate_event",
     "Callback", "CallbackList", "LoggingCallback", "TelemetryCallback",
     "OpProfile", "OpStats", "profile",
     "render_report", "load_report",
+    "TraceContext", "StageSpan", "TraceSampler", "RequestTracer",
+    "BatchStages",
+    "render_prometheus", "parse_prometheus", "MetricsHTTPServer",
+    "SpanExporter",
+    "BurnWindow", "FAST_BURN", "SLOW_BURN", "SLO", "Alert", "SLOMonitor",
+    "default_serve_slos",
 ]

@@ -1,0 +1,328 @@
+"""Request-scoped trace contexts: causal span trees across threads.
+
+:mod:`repro.obs.tracing` gives lexically scoped spans on one thread's
+stack; a served request is the opposite shape — it is *born* on a
+producer thread, waits in a queue, and is *finished* on whichever
+worker drained it.  This module is the cross-thread half of tracing:
+
+* :class:`TraceContext` — the (trace_id, span_id, baggage) triple that
+  travels **explicitly** with the request (no thread-locals, no
+  contextvars: the queue entry carries it, so there is nothing to leak
+  between requests sharing a worker);
+* :class:`StageSpan` — one clock-timed stage with explicit start/end
+  stamps.  All times come from the owning tracer's clock, so under a
+  :class:`repro.serve.clock.VirtualClock` every span tree is exactly
+  reproducible;
+* :class:`RequestTracer` — allocates ids, times spans on its bound
+  clock, and keeps a bounded ring of completed request traces;
+* :class:`TraceSampler` — deterministic 1-in-N head sampling keyed on
+  the request sequence number (same workload, same sampled set);
+* :class:`BatchStages` — the per-drain stage recorder the service hands
+  to its backend so tokenize/forward timings surface inside every
+  member request's span tree.
+
+The lifecycle API (``begin_request`` / ``finish``) is intentionally not
+a context manager — a request span cannot be lexically scoped because
+it crosses threads.  Stage spans that *are* lexically scoped must go
+through ``with tracer.span(...)`` / ``with stages.stage(...)`` (lint
+rule RA112 enforces this in ``repro.serve`` / ``repro.matching``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+
+__all__ = ["TraceContext", "StageSpan", "TraceSampler", "RequestTracer",
+           "BatchStages"]
+
+
+class TraceContext:
+    """Propagation triple: one trace, one span, request-scoped baggage.
+
+    ``trace_id`` names the whole request journey; ``span_id`` names the
+    current position in it; ``baggage`` is a small dict of key/values
+    (request id, tenant, experiment arm) that downstream stages may
+    read but should treat as opaque.
+    """
+
+    __slots__ = ("trace_id", "span_id", "baggage")
+
+    def __init__(self, trace_id: str, span_id: str,
+                 baggage: dict | None = None):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.baggage = baggage if baggage is not None else {}
+
+    def child(self, span_id: str) -> "TraceContext":
+        """The context seen by a child span: same trace, same baggage."""
+        return TraceContext(self.trace_id, span_id, self.baggage)
+
+    def __repr__(self) -> str:
+        return (f"TraceContext(trace_id={self.trace_id!r}, "
+                f"span_id={self.span_id!r})")
+
+
+class StageSpan:
+    """One clock-timed stage of a request; forms a tree via ``children``.
+
+    Unlike :class:`repro.obs.tracing.Span`, start/end are explicit clock
+    stamps supplied by the tracer (or copied from a batch stage), so a
+    span can open on one thread and close on another, and virtual-clock
+    runs produce bit-identical trees.
+    """
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "start",
+                 "end", "attrs", "children")
+
+    def __init__(self, name: str, trace_id: str, span_id: str,
+                 parent_id: str | None, start: float,
+                 attrs: dict | None = None):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: float | None = None
+        self.attrs = attrs or {}
+        self.children: list["StageSpan"] = []
+
+    @property
+    def duration(self) -> float:
+        """Clock seconds from start to end (0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def context(self) -> TraceContext:
+        """This span's position as a propagation context."""
+        return TraceContext(self.trace_id, self.span_id)
+
+    def walk(self, depth: int = 0):
+        """Yield ``(span, depth)`` depth-first, parents before children."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def find(self, name: str) -> "StageSpan | None":
+        """First span named ``name`` in this subtree (or None)."""
+        for span, _ in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def stage_names(self) -> list[str]:
+        """Names of the direct children, in recorded order."""
+        return [child.name for child in self.children]
+
+    def as_dict(self) -> dict:
+        """Flat JSON-friendly view of this span (no children)."""
+        payload = {"name": self.name, "trace_id": self.trace_id,
+                   "span_id": self.span_id, "start": self.start,
+                   "end": self.end, "seconds": self.duration}
+        if self.parent_id is not None:
+            payload["parent_span_id"] = self.parent_id
+        payload.update(self.attrs)
+        return payload
+
+    def __repr__(self) -> str:
+        return (f"StageSpan({self.name!r}, trace={self.trace_id}, "
+                f"duration={self.duration:.6f}s, "
+                f"children={len(self.children)})")
+
+
+class TraceSampler:
+    """Deterministic head sampling: keep one request in every ``1/rate``.
+
+    Keyed on the request's monotonically increasing sequence number, so
+    the same workload samples the same requests on every run — the
+    property the replay-determinism tests (and exemplar stability)
+    depend on.  ``rate >= 1`` keeps everything, ``rate <= 0`` nothing.
+    """
+
+    __slots__ = ("rate", "_stride")
+
+    def __init__(self, rate: float = 1.0):
+        if rate > 1.0 or rate != rate:  # NaN guard
+            raise ValueError(f"sample rate must be in [0, 1], got {rate}")
+        self.rate = float(rate)
+        self._stride = 0 if rate <= 0.0 else max(int(round(1.0 / rate)), 1)
+
+    def sampled(self, sequence: int) -> bool:
+        """Whether the request with this sequence number is traced."""
+        if self._stride == 0:
+            return False
+        return sequence % self._stride == 0
+
+
+class _PerfCounterClock:
+    """Fallback clock when a tracer is used outside the serving stack."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class RequestTracer:
+    """Cross-thread span recorder timed on an explicit clock.
+
+    ``clock`` is anything with ``now() -> float`` (a
+    :class:`repro.serve.clock.Clock`); when None the tracer falls back
+    to ``time.perf_counter`` until :meth:`bind_clock` is called —
+    :class:`repro.serve.MatchService` binds its own clock on
+    construction so traces and ticket latencies share a timebase.
+
+    Completed request traces accumulate in ``completed`` (a bounded
+    ring, ``max_traces`` deep); :meth:`slowest` ranks them for the
+    dashboard, and :class:`repro.obs.expo.SpanExporter` drains them to
+    JSONL.
+    """
+
+    def __init__(self, clock=None, max_traces: int = 512,
+                 sample_rate: float = 1.0):
+        if max_traces < 1:
+            raise ValueError(f"max_traces must be >= 1, got {max_traces}")
+        self._clock = clock or _PerfCounterClock()
+        self.sampler = TraceSampler(sample_rate)
+        self.completed: deque[StageSpan] = deque(maxlen=max_traces)
+        self._traces = itertools.count()
+        self._spans = itertools.count()
+        self._lock = threading.Lock()
+
+    def bind_clock(self, clock) -> None:
+        """Adopt the serving clock (no-op if one was given at init)."""
+        if isinstance(self._clock, _PerfCounterClock):
+            self._clock = clock
+
+    def now(self) -> float:
+        return self._clock.now()
+
+    def sampled(self, sequence: int) -> bool:
+        """Deterministic head-sampling decision for a request number."""
+        return self.sampler.sampled(sequence)
+
+    def _next_trace_id(self) -> str:
+        with self._lock:
+            return f"trace-{next(self._traces):08x}"
+
+    def _next_span_id(self) -> str:
+        with self._lock:
+            return f"span-{next(self._spans):08x}"
+
+    # -- lifecycle (cross-thread; not context managers by design) ------------
+
+    def begin_request(self, name: str = "serve.request",
+                      start: float | None = None, **attrs) -> StageSpan:
+        """Open a new root span under a fresh trace id."""
+        return StageSpan(name, self._next_trace_id(),
+                         self._next_span_id(), parent_id=None,
+                         start=self.now() if start is None else start,
+                         attrs=attrs)
+
+    def child(self, parent: StageSpan, name: str,
+              start: float | None = None, **attrs) -> StageSpan:
+        """Open a child span of ``parent`` (closed later via :meth:`end`)."""
+        span = StageSpan(name, parent.trace_id, self._next_span_id(),
+                         parent_id=parent.span_id,
+                         start=self.now() if start is None else start,
+                         attrs=attrs)
+        parent.children.append(span)
+        return span
+
+    def end(self, span: StageSpan, end: float | None = None,
+            **attrs) -> StageSpan:
+        """Close a span at ``end`` (defaults to the clock's now)."""
+        span.end = self.now() if end is None else end
+        if attrs:
+            span.attrs.update(attrs)
+        return span
+
+    def attach(self, parent: StageSpan, name: str, start: float,
+               end: float, **attrs) -> StageSpan:
+        """Add an already-timed stage (e.g. a shared batch stage) as a
+        closed child of ``parent``, with its own span id."""
+        span = self.child(parent, name, start=start, **attrs)
+        span.end = end
+        return span
+
+    def finish(self, root: StageSpan, end: float | None = None,
+               **attrs) -> StageSpan:
+        """Close a root span and record it in ``completed``."""
+        self.end(root, end=end, **attrs)
+        with self._lock:
+            self.completed.append(root)
+        return root
+
+    # -- lexically scoped spans (must be used with ``with`` — RA112) ---------
+
+    @contextmanager
+    def span(self, name: str, parent: StageSpan | None = None, **attrs):
+        """A clock-timed span scoped to a block; roots land in
+        ``completed`` when no ``parent`` is given."""
+        node = (self.child(parent, name, **attrs) if parent is not None
+                else self.begin_request(name, **attrs))
+        try:
+            yield node
+        finally:
+            if parent is not None:
+                self.end(node)
+            else:
+                self.finish(node)
+
+    # -- inspection ----------------------------------------------------------
+
+    def snapshot(self) -> list[StageSpan]:
+        """The completed ring as a list (oldest first)."""
+        with self._lock:
+            return list(self.completed)
+
+    def slowest(self, n: int = 5) -> list[StageSpan]:
+        """The ``n`` longest completed request traces, slowest first."""
+        with self._lock:
+            ranked = sorted(self.completed, key=lambda s: -s.duration)
+        return ranked[:n]
+
+    def reset(self) -> None:
+        with self._lock:
+            self.completed.clear()
+
+
+class BatchStages:
+    """Stage recorder for one drained batch of requests.
+
+    The service creates one per traced batch and passes it down through
+    the backend into the engine; each ``with stages.stage(name):`` block
+    stamps a (name, start, end, attrs) record on the shared clock.
+    After scoring, the service copies the records into every member
+    request's span tree (each copy gets its own span id) — the batch
+    work happened once, but causally it belongs to every request in the
+    batch.
+    """
+
+    class Record:
+        """One timed batch stage; ``attrs`` may be enriched post-close."""
+
+        __slots__ = ("name", "start", "end", "attrs")
+
+        def __init__(self, name: str, start: float, attrs: dict):
+            self.name = name
+            self.start = start
+            self.end: float | None = None
+            self.attrs = attrs
+
+    def __init__(self, now):
+        self._now = now
+        self.records: list["BatchStages.Record"] = []
+
+    @contextmanager
+    def stage(self, name: str, **attrs):
+        """Record one batch stage over the enclosed block."""
+        record = BatchStages.Record(name, self._now(), attrs)
+        self.records.append(record)
+        try:
+            yield record
+        finally:
+            record.end = self._now()

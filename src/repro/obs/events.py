@@ -27,7 +27,7 @@ from .tracing import Span, Tracer, default_tracer
 
 __all__ = ["SCHEMA_VERSION", "EVENT_KINDS", "EventSink", "NullSink",
            "MemorySink", "JsonlSink", "TelemetryRun", "read_events",
-           "validate_event"]
+           "read_events_tolerant", "validate_event"]
 
 SCHEMA_VERSION = 1
 
@@ -133,14 +133,41 @@ class JsonlSink(EventSink):
 
 
 def read_events(path: str | Path) -> list[dict]:
-    """Parse a JSONL telemetry file back into event dicts."""
-    events = []
+    """Parse a JSONL telemetry file back into event dicts (strict)."""
+    events, skipped = read_events_tolerant(path)
+    if skipped:
+        raise json.JSONDecodeError(
+            f"{skipped} corrupt line(s) in {path} (use "
+            f"read_events_tolerant to skip them)", doc="", pos=0)
+    return events
+
+
+def read_events_tolerant(path: str | Path) -> tuple[list[dict], int]:
+    """Parse a JSONL telemetry file, skipping unparseable lines.
+
+    Returns ``(events, skipped)``.  A crash mid-``emit`` leaves a
+    truncated final line (and a killed writer can corrupt earlier
+    ones); the readable events are still a valid prefix of the run, so
+    the report tooling reads through this and surfaces the count
+    instead of refusing the whole file.
+    """
+    events: list[dict] = []
+    skipped = 0
     with open(path, encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
-            if line:
-                events.append(json.loads(line))
-    return events
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+            else:
+                skipped += 1
+    return events, skipped
 
 
 def _span_events(roots: list[Span]):

@@ -5,11 +5,22 @@ A :class:`MetricsRegistry` is a named bag of metrics; ``counter()`` /
 never need to coordinate setup.  A process-wide default registry backs
 code that doesn't carry one around explicitly.
 
+Metrics may carry **labels** (``registry.counter("rpc", labels={"arch":
+"bert"})``): each distinct label combination is its own series under
+the family name.  Label cardinality is bounded — creating more than
+``max_series_per_metric`` combinations on one family raises
+:class:`CardinalityError` instead of silently growing the registry
+(the classic unbounded-user-id-label accident).
+
 Histograms are *streaming*: they keep exact count/sum/min/max and a
 bounded sample buffer that is deterministically decimated (keep every
 second sample, double the stride) once full, so quantiles stay accurate
 to the buffer resolution with O(max_samples) memory no matter how many
-observations arrive.
+observations arrive.  With ``buckets`` they additionally keep exact
+cumulative bucket counts (Prometheus ``le`` semantics), which is what
+the exposition endpoint renders and the latency SLOs count against;
+``observe(value, exemplar=...)`` keeps a small ring of recent exemplars
+linking samples back to trace ids.
 
 Every metric (and the registry's get-or-create path) is thread-safe:
 ``repro.serve`` updates counters and gauges from producer threads and
@@ -19,19 +30,48 @@ read-modify-write race that silently drops increments.
 
 from __future__ import annotations
 
+import bisect
 import threading
+from collections import deque
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "default_registry"]
+__all__ = ["CardinalityError", "Counter", "Gauge", "Histogram",
+           "MetricsRegistry", "default_registry", "series_name",
+           "LATENCY_BUCKETS"]
+
+#: Default latency bucket bounds (seconds) used by the serving metrics:
+#: wide enough for 1 ms kernels through 10 s stalls, and the boundaries
+#: the latency SLOs may threshold against.
+LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+                   0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+class CardinalityError(ValueError):
+    """A metric family exceeded its label-combination budget."""
+
+
+def _label_key(labels: dict | None) -> tuple:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def series_name(name: str, labels: dict | None) -> str:
+    """Canonical series key: ``name`` or ``name{k="v",...}`` (sorted)."""
+    key = _label_key(labels)
+    if not key:
+        return name
+    rendered = ",".join(f'{k}="{v}"' for k, v in key)
+    return f"{name}{{{rendered}}}"
 
 
 class Counter:
     """Monotonically increasing count."""
 
-    __slots__ = ("name", "value", "_lock")
+    __slots__ = ("name", "labels", "value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: dict | None = None):
         self.name = name
+        self.labels = dict(labels) if labels else {}
         self.value = 0.0
         self._lock = threading.Lock()
 
@@ -48,10 +88,11 @@ class Counter:
 class Gauge:
     """Last-write-wins scalar."""
 
-    __slots__ = ("name", "value", "_lock")
+    __slots__ = ("name", "labels", "value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: dict | None = None):
         self.name = name
+        self.labels = dict(labels) if labels else {}
         self.value = 0.0
         self._lock = threading.Lock()
 
@@ -72,15 +113,21 @@ class Histogram:
 
     ``observe()`` is O(1) amortised; ``quantile()`` sorts the retained
     sample buffer (linear interpolation between order statistics).
+    With ``buckets`` (a strictly increasing sequence of upper bounds)
+    exact cumulative counts are kept per bucket, Prometheus-style; an
+    implicit ``+Inf`` bucket always exists.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max",
-                 "_samples", "_stride", "_seen", "_max_samples", "_lock")
+    __slots__ = ("name", "labels", "count", "total", "min", "max",
+                 "_samples", "_stride", "_seen", "_max_samples",
+                 "_bounds", "_bucket_counts", "_exemplars", "_lock")
 
-    def __init__(self, name: str, max_samples: int = 2048):
+    def __init__(self, name: str, max_samples: int = 2048,
+                 buckets=None, labels: dict | None = None):
         if max_samples < 2:
             raise ValueError("max_samples must be >= 2")
         self.name = name
+        self.labels = dict(labels) if labels else {}
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
@@ -89,15 +136,32 @@ class Histogram:
         self._stride = 1
         self._seen = 0
         self._max_samples = max_samples
+        if buckets is not None:
+            bounds = [float(b) for b in buckets]
+            if not bounds or any(low >= high for low, high
+                                 in zip(bounds, bounds[1:])):
+                raise ValueError(f"buckets must be strictly increasing, "
+                                 f"got {buckets}")
+            self._bounds = tuple(bounds)
+        else:
+            self._bounds = None
+        self._bucket_counts = ([0] * (len(self._bounds) + 1)
+                               if self._bounds is not None else None)
+        self._exemplars: deque = deque(maxlen=5)
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         value = float(value)
         with self._lock:
             self.count += 1
             self.total += value
             self.min = min(self.min, value)
             self.max = max(self.max, value)
+            if self._bucket_counts is not None:
+                self._bucket_counts[
+                    bisect.bisect_left(self._bounds, value)] += 1
+            if exemplar is not None:
+                self._exemplars.append((value, exemplar))
             if self._seen % self._stride == 0:
                 self._samples.append(value)
                 if len(self._samples) >= self._max_samples:
@@ -131,55 +195,145 @@ class Histogram:
     def p95(self) -> float:
         return self.quantile(0.95)
 
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    @property
+    def bounds(self) -> tuple | None:
+        """The configured bucket upper bounds (None when bucketless)."""
+        return self._bounds
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs ending at +Inf.
+
+        Empty when the histogram was created without ``buckets``.
+        """
+        if self._bucket_counts is None:
+            return []
+        with self._lock:
+            counts = list(self._bucket_counts)
+        out, running = [], 0
+        for bound, count in zip(self._bounds, counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + counts[-1]))
+        return out
+
+    def count_le(self, bound: float) -> int:
+        """Exact observations at or below ``bound``.
+
+        ``bound`` must be one of the configured bucket boundaries —
+        anything else would silently return the wrong count, so it
+        raises instead (latency SLO thresholds must be boundaries).
+        """
+        if self._bounds is None:
+            raise ValueError(f"histogram {self.name!r} has no buckets; "
+                             f"create it with buckets=... to count "
+                             f"against a threshold")
+        bound = float(bound)
+        for upper, cumulative in self.bucket_counts():
+            if upper == bound:
+                return cumulative
+        raise ValueError(f"{bound} is not a bucket boundary of "
+                         f"{self.name!r} (bounds: {self._bounds})")
+
+    def exemplars(self) -> list[tuple[float, str]]:
+        """Recent ``(value, trace_id)`` exemplars, oldest first."""
+        with self._lock:
+            return list(self._exemplars)
+
     def snapshot(self) -> dict:
         if not self.count:
             return {"kind": "histogram", "count": 0}
         return {"kind": "histogram", "count": self.count,
                 "mean": self.mean, "min": self.min, "max": self.max,
-                "p50": self.p50, "p95": self.p95}
+                "p50": self.p50, "p95": self.p95, "p99": self.p99}
 
 
 class MetricsRegistry:
-    """Named metrics with get-or-create accessors."""
+    """Named metric families with get-or-create accessors.
 
-    def __init__(self):
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+    ``max_series_per_metric`` bounds label-combination growth per family
+    (:class:`CardinalityError` beyond it); the unlabeled series does not
+    count against the budget differently — it is simply the ``()``
+    combination.
+    """
+
+    def __init__(self, max_series_per_metric: int = 128):
+        if max_series_per_metric < 1:
+            raise ValueError("max_series_per_metric must be >= 1")
+        self.max_series_per_metric = max_series_per_metric
+        self._families: dict[str, dict[tuple, object]] = {}
+        self._kinds: dict[str, type] = {}
         self._lock = threading.Lock()
 
-    def _get(self, name: str, cls, **kwargs):
+    def _get(self, name: str, cls, labels: dict | None = None, **kwargs):
+        key = _label_key(labels)
         with self._lock:
-            metric = self._metrics.get(name)
-            if metric is None:
-                metric = cls(name, **kwargs)
-                self._metrics[name] = metric
-            elif not isinstance(metric, cls):
+            kind = self._kinds.get(name)
+            if kind is not None and kind is not cls:
                 raise TypeError(
                     f"metric {name!r} already registered as "
-                    f"{type(metric).__name__}, not {cls.__name__}")
+                    f"{kind.__name__}, not {cls.__name__}")
+            family = self._families.setdefault(name, {})
+            metric = family.get(key)
+            if metric is None:
+                if len(family) >= self.max_series_per_metric:
+                    raise CardinalityError(
+                        f"metric {name!r} already has {len(family)} label "
+                        f"combinations (limit "
+                        f"{self.max_series_per_metric}); refusing to "
+                        f"create {dict(labels or {})!r} — check for an "
+                        f"unbounded label value, or raise "
+                        f"max_series_per_metric if the cardinality is "
+                        f"intentional")
+                metric = cls(name, labels=labels, **kwargs)
+                family[key] = metric
+                self._kinds[name] = cls
             return metric
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
+    def counter(self, name: str, labels: dict | None = None) -> Counter:
+        return self._get(name, Counter, labels=labels)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)
+    def gauge(self, name: str, labels: dict | None = None) -> Gauge:
+        return self._get(name, Gauge, labels=labels)
 
-    def histogram(self, name: str, max_samples: int = 2048) -> Histogram:
-        return self._get(name, Histogram, max_samples=max_samples)
+    def histogram(self, name: str, max_samples: int = 2048,
+                  buckets=None, labels: dict | None = None) -> Histogram:
+        return self._get(name, Histogram, labels=labels,
+                         max_samples=max_samples, buckets=buckets)
+
+    def families(self) -> dict[str, list]:
+        """``{family name: [series metric, ...]}`` sorted both ways."""
+        with self._lock:
+            return {name: [family[key] for key in sorted(family)]
+                    for name, family in sorted(self._families.items())}
 
     def names(self) -> list[str]:
+        """Sorted series names (labels rendered into the key)."""
         with self._lock:
-            return sorted(self._metrics)
+            return sorted(
+                series_name(name, metric.labels)
+                for name, family in self._families.items()
+                for metric in family.values())
 
     def snapshot(self) -> dict[str, dict]:
-        """``{name: metric snapshot}`` for every registered metric."""
-        with self._lock:
-            metrics = sorted(self._metrics.items())
-        return {name: metric.snapshot() for name, metric in metrics}
+        """``{series name: metric snapshot}`` for every registered
+        series; labeled series carry their labels in the payload."""
+        out = {}
+        for name, metrics in self.families().items():
+            for metric in metrics:
+                snap = metric.snapshot()
+                if metric.labels:
+                    snap["labels"] = dict(metric.labels)
+                out[series_name(name, metric.labels)] = snap
+        return out
 
     def reset(self) -> None:
         with self._lock:
-            self._metrics.clear()
+            self._families.clear()
+            self._kinds.clear()
 
 
 _DEFAULT_REGISTRY = MetricsRegistry()

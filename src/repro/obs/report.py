@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from .events import read_events, validate_event
+from .events import read_events_tolerant, validate_event
 from .tracing import format_duration
 
 __all__ = ["render_report", "load_report"]
@@ -179,5 +179,15 @@ def render_report(events: list[dict], validate: bool = True) -> str:
 
 
 def load_report(path: str | Path) -> str:
-    """Read a JSONL telemetry file and render its report."""
-    return render_report(read_events(path))
+    """Read a JSONL telemetry file and render its report.
+
+    Corrupt or truncated lines (a crashed writer's torn final event)
+    are skipped and surfaced as a warning header rather than refusing
+    the readable prefix of the run.
+    """
+    events, skipped = read_events_tolerant(path)
+    report = render_report(events)
+    if skipped:
+        report = (f"warning: skipped {skipped} corrupt/truncated "
+                  f"line(s) in {path}\n\n{report}")
+    return report

@@ -1,0 +1,307 @@
+"""Declarative SLOs with multi-window burn-rate alert evaluation.
+
+An :class:`SLO` declares an objective ("99% of requests good") plus a
+*reader* that derives ``(good, total)`` cumulative counts from a
+:class:`~repro.obs.registry.MetricsRegistry` — availability objectives
+read failure counters (``serve.timeouts``, ``serve.degraded``),
+latency objectives read a bucketed histogram's exact
+:meth:`~repro.obs.registry.Histogram.count_le` at a bucket boundary.
+
+:class:`SLOMonitor` implements the Google SRE workbook's
+multi-window multi-burn-rate policy: a *burn rate* is the error rate
+over a window divided by the error budget (``1 - objective``), and an
+alert fires only when **both** a long and a short window exceed the
+window's factor — the long window proves sustained budget burn, the
+short window proves it is still happening (and clears the alert
+quickly once it stops).  The defaults are the canonical pairs: fast
+burn 1 h / 5 m at 14.4× (2% of a 30-day budget in an hour), slow burn
+6 h / 30 m at 6×.
+
+Everything is timed on an injected clock: :meth:`SLOMonitor.record`
+snapshots the counters at ``clock.now()``, :meth:`SLOMonitor.evaluate`
+computes windowed deltas between snapshots — under a
+:class:`repro.serve.clock.VirtualClock` the fire/clear sequence is
+bit-reproducible, which is how the tests pin both scenarios.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from .registry import Histogram, MetricsRegistry
+
+__all__ = ["BurnWindow", "FAST_BURN", "SLOW_BURN", "SLO", "Alert",
+           "SLOMonitor", "default_serve_slos"]
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One (long, short, factor) burn-rate alerting rule."""
+
+    name: str
+    long_seconds: float
+    short_seconds: float
+    factor: float
+
+    def __post_init__(self):
+        if self.short_seconds <= 0 or self.long_seconds <= 0:
+            raise ValueError("window lengths must be positive")
+        if self.short_seconds >= self.long_seconds:
+            raise ValueError(
+                f"short window ({self.short_seconds}s) must be shorter "
+                f"than the long window ({self.long_seconds}s)")
+        if self.factor <= 0:
+            raise ValueError("burn factor must be positive")
+
+
+#: 2% of a 30-day error budget burned within the hour — page someone.
+FAST_BURN = BurnWindow("fast_burn", long_seconds=3600.0,
+                       short_seconds=300.0, factor=14.4)
+#: 10% of the budget within six hours — open a ticket.
+SLOW_BURN = BurnWindow("slow_burn", long_seconds=21600.0,
+                       short_seconds=1800.0, factor=6.0)
+
+
+def _family_metrics(registry: MetricsRegistry, name: str) -> list:
+    return registry.families().get(name, [])
+
+
+def _counter_sum(registry: MetricsRegistry, names) -> float:
+    total = 0.0
+    for name in ([names] if isinstance(names, str) else names):
+        for metric in _family_metrics(registry, name):
+            total += metric.value
+    return total
+
+
+class SLO:
+    """One service-level objective: a name, a target, a reader.
+
+    ``objective`` is the good-fraction target in (0, 1); the error
+    budget is ``1 - objective``.  ``reader(registry) -> (good, total)``
+    returns cumulative counts — build instances through
+    :meth:`availability` or :meth:`latency` rather than writing readers
+    by hand.
+    """
+
+    def __init__(self, name: str, objective: float, reader,
+                 description: str = ""):
+        if not 0.0 < objective < 1.0:
+            raise ValueError(f"objective must be in (0, 1), got "
+                             f"{objective}")
+        self.name = name
+        self.objective = objective
+        self.description = description
+        self._reader = reader
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the tolerated bad fraction."""
+        return 1.0 - self.objective
+
+    def read(self, registry: MetricsRegistry) -> tuple[float, float]:
+        """Cumulative ``(good, total)`` counts right now."""
+        good, total = self._reader(registry)
+        return float(good), float(total)
+
+    @classmethod
+    def availability(cls, name: str, objective: float, total: str,
+                     errors, description: str = "") -> "SLO":
+        """Good = ``total`` minus the summed ``errors`` counters.
+
+        ``errors`` may be one counter name or a list (e.g. timeouts
+        plus degradations); labeled series are summed into the family.
+        """
+        error_names = [errors] if isinstance(errors, str) else list(errors)
+
+        def reader(registry: MetricsRegistry):
+            offered = _counter_sum(registry, total)
+            bad = _counter_sum(registry, error_names)
+            return offered - bad, offered
+
+        return cls(name, objective, reader, description=description)
+
+    @classmethod
+    def latency(cls, name: str, objective: float, histogram: str,
+                threshold: float, description: str = "") -> "SLO":
+        """Good = observations at or below ``threshold`` seconds.
+
+        ``threshold`` must be a bucket boundary of the named histogram
+        (:meth:`~repro.obs.registry.Histogram.count_le` enforces it),
+        so the count is exact, never interpolated.
+        """
+
+        def reader(registry: MetricsRegistry):
+            good = total = 0.0
+            for metric in _family_metrics(registry, histogram):
+                if not isinstance(metric, Histogram):
+                    raise TypeError(f"{histogram!r} is not a histogram")
+                good += metric.count_le(threshold)
+                total += metric.count
+            return good, total
+
+        return cls(name, objective, reader, description=description)
+
+
+@dataclass
+class Alert:
+    """Mutable fire/clear state for one (SLO, burn window) pair."""
+
+    slo: str
+    window: str
+    factor: float
+    firing: bool = False
+    since: float | None = None
+    burn_long: float = 0.0
+    burn_short: float = 0.0
+    transitions: list[tuple[str, float]] = field(default_factory=list)
+
+    def _fire(self, now: float) -> None:
+        if not self.firing:
+            self.firing = True
+            self.since = now
+            self.transitions.append(("fired", now))
+
+    def _clear(self, now: float) -> None:
+        if self.firing:
+            self.firing = False
+            self.since = None
+            self.transitions.append(("cleared", now))
+
+
+class _WallClock:
+    def now(self) -> float:
+        return time.time()
+
+
+class SLOMonitor:
+    """Snapshot counters on a clock; evaluate burn-rate alerts on demand.
+
+    ``record()`` must be called periodically (every evaluation tick in
+    tests, every scrape in production) — windowed rates are deltas
+    between recorded snapshots, so resolution equals the recording
+    cadence.  ``evaluate()`` updates every (SLO, window) alert and
+    returns them; an alert fires when *both* windows' burn rates meet
+    the factor and clears as soon as the short window recovers.
+    """
+
+    def __init__(self, slos, registry: MetricsRegistry | None = None,
+                 clock=None, windows=(FAST_BURN, SLOW_BURN),
+                 max_samples: int = 4096):
+        from .registry import default_registry
+        self.slos = list(slos)
+        if not self.slos:
+            raise ValueError("need at least one SLO")
+        self.registry = (registry if registry is not None
+                         else default_registry())
+        self.clock = clock or _WallClock()
+        self.windows = tuple(windows)
+        self._history: deque = deque(maxlen=max_samples)
+        self.alerts: dict[tuple[str, str], Alert] = {
+            (slo.name, window.name): Alert(slo.name, window.name,
+                                           window.factor)
+            for slo in self.slos for window in self.windows}
+
+    # -- sampling ------------------------------------------------------------
+
+    def record(self) -> dict:
+        """Snapshot every SLO's cumulative (good, total) at clock-now."""
+        sample = {"ts": self.clock.now(),
+                  "counts": {slo.name: slo.read(self.registry)
+                             for slo in self.slos}}
+        self._history.append(sample)
+        return sample
+
+    def _at_or_before(self, ts: float) -> dict:
+        """The newest sample with ``ts`` at or before the given time
+        (the oldest sample when history does not reach back that far)."""
+        chosen = self._history[0]
+        for sample in self._history:
+            if sample["ts"] <= ts:
+                chosen = sample
+            else:
+                break
+        return chosen
+
+    def _bad_fraction(self, slo_name: str, now: float,
+                      window_seconds: float) -> float:
+        latest = self._history[-1]
+        base = self._at_or_before(now - window_seconds)
+        good_now, total_now = latest["counts"][slo_name]
+        good_then, total_then = base["counts"][slo_name]
+        delta_total = total_now - total_then
+        if delta_total <= 0:
+            return 0.0
+        delta_bad = (total_now - good_now) - (total_then - good_then)
+        return max(delta_bad, 0.0) / delta_total
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self) -> list[Alert]:
+        """Record-free evaluation pass: update and return all alerts."""
+        if not self._history:
+            self.record()
+        now = self.clock.now()
+        for slo in self.slos:
+            for window in self.windows:
+                alert = self.alerts[(slo.name, window.name)]
+                alert.burn_long = self._bad_fraction(
+                    slo.name, now, window.long_seconds) / slo.budget
+                alert.burn_short = self._bad_fraction(
+                    slo.name, now, window.short_seconds) / slo.budget
+                if (alert.burn_long >= window.factor
+                        and alert.burn_short >= window.factor):
+                    alert._fire(now)
+                elif alert.burn_short < window.factor:
+                    alert._clear(now)
+        return list(self.alerts.values())
+
+    def firing(self) -> list[Alert]:
+        """Alerts currently in the firing state (no evaluation pass)."""
+        return [a for a in self.alerts.values() if a.firing]
+
+    def error_budget_remaining(self, slo_name: str) -> float:
+        """Fraction of the budget left over all recorded history.
+
+        1.0 = untouched, 0.0 = exhausted, negative = overdrawn; 1.0
+        when nothing has been recorded or served yet.
+        """
+        for slo in self.slos:
+            if slo.name == slo_name:
+                break
+        else:
+            raise KeyError(f"unknown SLO {slo_name!r}")
+        if not self._history:
+            return 1.0
+        good, total = self._history[-1]["counts"][slo_name]
+        if total <= 0:
+            return 1.0
+        bad_fraction = (total - good) / total
+        return 1.0 - bad_fraction / slo.budget
+
+
+def default_serve_slos(availability_objective: float = 0.99,
+                       latency_objective: float = 0.95,
+                       latency_threshold: float = 0.25) -> list[SLO]:
+    """The stock objectives for :class:`repro.serve.MatchService`.
+
+    Availability counts timeouts and degraded (fallback-scored)
+    requests against the budget; latency counts requests completing at
+    or under ``latency_threshold`` seconds (which must stay a
+    ``LATENCY_BUCKETS`` boundary) via the exact bucket counts.
+    """
+    return [
+        SLO.availability(
+            "serve-availability", availability_objective,
+            total="serve.requests",
+            errors=("serve.timeouts", "serve.degraded"),
+            description="requests neither timed out nor degraded"),
+        SLO.latency(
+            "serve-latency", latency_objective,
+            histogram="serve.latency_seconds",
+            threshold=latency_threshold,
+            description=f"requests completing within "
+                        f"{latency_threshold * 1000:.0f} ms"),
+    ]

@@ -2,8 +2,15 @@
 
 A backend is anything with::
 
-    score(pairs, keys, threshold, fallback, forward_hook=None, cb=None)
-        -> list[MatchOutcome]   # one per pair, in order, index = key
+    score(pairs, keys, threshold, fallback, forward_hook=None, cb=None,
+          stages=None) -> list[MatchOutcome]   # in order, index = key
+
+``stages`` (a :class:`repro.obs.context.BatchStages`, or None when the
+drained chunk contains no sampled request) lets the backend report
+clock-timed tokenize/forward stage records that the service grafts into
+each member request's span tree; the parameter is optional in the
+protocol — the service detects support by signature and simply omits
+stage records for backends that predate it.
 
 The service drains a chunk of queued requests and hands the whole chunk
 to the backend; the backend owns batching within the chunk, per-pair
@@ -21,6 +28,8 @@ failure isolation, and degradation semantics.  Three implementations:
 """
 
 from __future__ import annotations
+
+from contextlib import ExitStack
 
 from ..data import EMDataset, EntityPair, Record
 from ..resilience import MatchOutcome, fallback_probability
@@ -47,11 +56,12 @@ class MatcherBackend:
         self._batch_size = batch_size
 
     def score(self, pairs, keys, threshold: float, fallback: bool,
-              forward_hook=None, cb=None) -> list[MatchOutcome]:
+              forward_hook=None, cb=None,
+              stages=None) -> list[MatchOutcome]:
         return self._engine.score_pairs(
             pairs, threshold=threshold, fallback=fallback, cb=cb,
             batch_size=self._batch_size, keys=keys,
-            forward_hook=forward_hook)
+            forward_hook=forward_hook, stages=stages)
 
 
 class DeepMatcherBackend:
@@ -118,19 +128,27 @@ class DeepMatcherBackend:
                             matched=probability >= threshold)
 
     def score(self, pairs, keys, threshold: float, fallback: bool,
-              forward_hook=None, cb=None) -> list[MatchOutcome]:
+              forward_hook=None, cb=None,
+              stages=None) -> list[MatchOutcome]:
         pairs = list(pairs)
         keys = list(keys)
         if len(keys) != len(pairs):
             raise ValueError(f"{len(pairs)} pairs but {len(keys)} keys")
-        try:
-            if forward_hook is not None:
-                forward_hook(keys)
-            probabilities = self._dm.predict_proba(self._dataset(pairs))
-        except Exception:  # noqa: BLE001 — retry singly, like the engine
-            return [self._score_one(key, entity_a, entity_b, threshold,
-                                    fallback, forward_hook, cb)
-                    for key, (entity_a, entity_b) in zip(keys, pairs)]
+        with ExitStack() as scope:
+            if stages is not None:
+                scope.enter_context(stages.stage("forward",
+                                                 rows=len(pairs)))
+            try:
+                if forward_hook is not None:
+                    forward_hook(keys)
+                probabilities = self._dm.predict_proba(
+                    self._dataset(pairs))
+            except Exception:  # noqa: BLE001 — retry singly, like the
+                # engine
+                return [self._score_one(key, entity_a, entity_b,
+                                        threshold, fallback,
+                                        forward_hook, cb)
+                        for key, (entity_a, entity_b) in zip(keys, pairs)]
         return [MatchOutcome(index=key, probability=float(p),
                              matched=float(p) >= threshold)
                 for key, p in zip(keys, probabilities)]
@@ -168,20 +186,26 @@ class CallableBackend:
                             matched=probability >= threshold)
 
     def score(self, pairs, keys, threshold: float, fallback: bool,
-              forward_hook=None, cb=None) -> list[MatchOutcome]:
+              forward_hook=None, cb=None,
+              stages=None) -> list[MatchOutcome]:
         pairs = list(pairs)
         keys = list(keys)
         if len(keys) != len(pairs):
             raise ValueError(f"{len(pairs)} pairs but {len(keys)} keys")
-        try:
-            if forward_hook is not None:
-                forward_hook(keys)
-            return [MatchOutcome(index=key,
-                                 probability=float(self._fn(a, b)),
-                                 matched=float(self._fn(a, b))
-                                 >= threshold)
-                    for key, (a, b) in zip(keys, pairs)]
-        except Exception:  # noqa: BLE001 — retry singly, like the engine
-            return [self._score_one(key, a, b, threshold, fallback,
-                                    forward_hook, cb)
-                    for key, (a, b) in zip(keys, pairs)]
+        with ExitStack() as scope:
+            if stages is not None:
+                scope.enter_context(stages.stage("forward",
+                                                 rows=len(pairs)))
+            try:
+                if forward_hook is not None:
+                    forward_hook(keys)
+                return [MatchOutcome(index=key,
+                                     probability=float(self._fn(a, b)),
+                                     matched=float(self._fn(a, b))
+                                     >= threshold)
+                        for key, (a, b) in zip(keys, pairs)]
+            except Exception:  # noqa: BLE001 — retry singly, like the
+                # engine
+                return [self._score_one(key, a, b, threshold, fallback,
+                                        forward_hook, cb)
+                        for key, (a, b) in zip(keys, pairs)]

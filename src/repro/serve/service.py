@@ -33,6 +33,7 @@ simulated time for deterministic tests (see :mod:`repro.serve.sim`).
 
 from __future__ import annotations
 
+import inspect
 import itertools
 import math
 import threading
@@ -40,6 +41,8 @@ from collections import deque
 from dataclasses import dataclass
 
 from ..obs import CallbackList, default_registry
+from ..obs.context import BatchStages, RequestTracer, TraceContext
+from ..obs.registry import LATENCY_BUCKETS
 from .clock import Clock, SystemClock
 
 __all__ = ["ServeConfig", "ServeError", "ServiceClosed",
@@ -58,7 +61,9 @@ class ServeConfig:
     ``max_queue`` bounds the pending queue — beyond it submissions are
     rejected with :class:`ServiceOverloaded`.  ``default_timeout_ms``
     applies to requests submitted without an explicit deadline
-    (``None`` = no deadline).
+    (``None`` = no deadline).  ``trace_sample_rate`` is the fraction of
+    requests that get a full span tree (deterministic 1-in-N head
+    sampling on the request sequence number; 0 disables tracing).
     """
 
     max_batch_size: int = 32
@@ -69,8 +74,12 @@ class ServeConfig:
     threshold: float = 0.5
     fallback: bool = True
     num_workers: int = 1
+    trace_sample_rate: float = 1.0
 
     def __post_init__(self):
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError(f"trace_sample_rate must be in [0, 1], got "
+                             f"{self.trace_sample_rate}")
         if self.max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got "
                              f"{self.max_batch_size}")
@@ -140,6 +149,7 @@ class MatchTicket:
         self.request_id = request_id
         self.submitted_at = submitted_at
         self.completed_at: float | None = None
+        self.trace_id: str | None = None
         self._event = threading.Event()
         self._outcome = None
         self._error: Exception | None = None
@@ -183,10 +193,16 @@ class MatchTicket:
 
 
 class _Request:
-    """Internal queue entry: one pair plus its routing/deadline state."""
+    """Internal queue entry: one pair plus its routing/deadline state.
+
+    ``ctx`` / ``span`` / ``wait_span`` are None for unsampled requests;
+    for sampled ones the queue entry itself carries the trace context
+    across the producer -> worker thread boundary — explicit
+    propagation, no thread-locals to leak between requests.
+    """
 
     __slots__ = ("id", "entity_a", "entity_b", "enqueued_at", "deadline",
-                 "ticket")
+                 "ticket", "ctx", "span", "wait_span")
 
     def __init__(self, request_id: int, entity_a, entity_b,
                  enqueued_at: float, deadline: float | None):
@@ -196,6 +212,9 @@ class _Request:
         self.enqueued_at = enqueued_at
         self.deadline = deadline
         self.ticket = MatchTicket(request_id, enqueued_at)
+        self.ctx: TraceContext | None = None
+        self.span = None
+        self.wait_span = None
 
 
 class MatchService:
@@ -220,7 +239,7 @@ class MatchService:
 
     def __init__(self, backend, config: ServeConfig | None = None,
                  clock: Clock | None = None, registry=None, chaos=None,
-                 callbacks=None):
+                 callbacks=None, tracer: RequestTracer | None = None):
         self._backend = backend
         self.config = config or ServeConfig()
         self.clock = clock or SystemClock()
@@ -232,6 +251,18 @@ class MatchService:
         self._ids = itertools.count()
         self._closed = False
         self._workers: list[threading.Thread] = []
+        if tracer is None:
+            tracer = RequestTracer(
+                clock=self.clock,
+                sample_rate=self.config.trace_sample_rate)
+        else:
+            tracer.bind_clock(self.clock)
+        self.tracer = tracer
+        # Stage recording needs backend cooperation; older/custom
+        # backends without a ``stages`` parameter still serve fine —
+        # their traces just lack tokenize/forward children.
+        self._backend_stages = "stages" in inspect.signature(
+            backend.score).parameters
         registry = registry if registry is not None else default_registry()
         self._registry = registry
         self._queue_depth = registry.gauge("serve.queue.depth")
@@ -241,8 +272,10 @@ class MatchService:
         self._timeouts = registry.counter("serve.timeouts")
         self._degraded = registry.counter("serve.degraded")
         self._batch_size = registry.histogram("serve.batch.size")
-        self._batch_wait = registry.histogram("serve.batch.wait_seconds")
-        self._latency = registry.histogram("serve.latency_seconds")
+        self._batch_wait = registry.histogram("serve.batch.wait_seconds",
+                                              buckets=LATENCY_BUCKETS)
+        self._latency = registry.histogram("serve.latency_seconds",
+                                           buckets=LATENCY_BUCKETS)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -279,6 +312,10 @@ class MatchService:
             request.ticket._fail(
                 ServiceClosed(f"service closed before request "
                               f"{request.id} was processed"), now)
+            if request.span is not None:
+                self.tracer.end(request.wait_span, end=now)
+                self.tracer.finish(request.span, end=now,
+                                   outcome="closed")
         for thread in self._workers:
             thread.join()
         self._workers = []
@@ -338,6 +375,17 @@ class MatchService:
                            deadline)
         self._pending.append(request)
         self._requests.inc()
+        if self.tracer.sampled(request.id):
+            root = self.tracer.begin_request(start=now,
+                                             request_id=request.id)
+            request.span = root
+            request.ctx = TraceContext(root.trace_id, root.span_id,
+                                       {"request_id": request.id})
+            request.ticket.trace_id = root.trace_id
+            self.tracer.attach(root, "enqueue", start=now, end=now,
+                               queue_depth=len(self._pending))
+            request.wait_span = self.tracer.child(root, "queue_wait",
+                                                  start=now)
         return request
 
     def submit(self, entity_a, entity_b,
@@ -438,7 +486,13 @@ class MatchService:
     def _process(self, batch: list[_Request]) -> None:
         now = self.clock.now()
         self._batch_size.observe(len(batch))
-        self._batch_wait.observe(now - batch[0].enqueued_at)
+        self._batch_wait.observe(
+            now - batch[0].enqueued_at,
+            exemplar=batch[0].ticket.trace_id)
+        for request in batch:
+            if request.span is not None:
+                self.tracer.end(request.wait_span, end=now,
+                                waited=now - request.enqueued_at)
         live: list[_Request] = []
         for request in batch:
             if request.deadline is not None and now >= request.deadline:
@@ -447,10 +501,21 @@ class MatchService:
                     RequestTimeout(request.id,
                                    waited=now - request.enqueued_at),
                     now)
+                if request.span is not None:
+                    self.tracer.finish(
+                        request.span, end=now, outcome="timeout",
+                        reason=f"deadline expired after "
+                               f"{(now - request.enqueued_at) * 1000:.1f}"
+                               f" ms queued")
             else:
                 live.append(request)
         if not live:
             return
+        stages = (BatchStages(self.clock.now)
+                  if self._backend_stages
+                  and any(r.span is not None for r in live) else None)
+        extra = {"stages": stages} if stages is not None else {}
+        assembled = self.clock.now()
         try:
             outcomes = self._backend.score(
                 [(r.entity_a, r.entity_b) for r in live],
@@ -458,7 +523,7 @@ class MatchService:
                 threshold=self.config.threshold,
                 fallback=self.config.fallback,
                 forward_hook=self._forward_hook,
-                cb=self._cb)
+                cb=self._cb, **extra)
         except Exception as exc:  # noqa: BLE001 — backends isolate; this
             # is the last-resort boundary keeping tickets from hanging.
             done = self.clock.now()
@@ -466,11 +531,42 @@ class MatchService:
                 request.ticket._fail(
                     ServeError(f"backend failed wholesale: "
                                f"{type(exc).__name__}: {exc}"), done)
+                if request.span is not None:
+                    self.tracer.finish(
+                        request.span, end=done, outcome="error",
+                        reason=f"{type(exc).__name__}: {exc}")
             return
         done = self.clock.now()
         for request, outcome in zip(live, outcomes):
             self._completed.inc()
             if outcome.degraded:
                 self._degraded.inc()
-            self._latency.observe(done - request.enqueued_at)
+            self._latency.observe(done - request.enqueued_at,
+                                  exemplar=request.ticket.trace_id)
             request.ticket._complete(outcome, done)
+            if request.span is not None:
+                self._close_trace(request, outcome, now, assembled, done,
+                                  len(batch), stages)
+
+    def _close_trace(self, request: _Request, outcome, drained: float,
+                     assembled: float, done: float, batch_size: int,
+                     stages: BatchStages | None) -> None:
+        """Graft the shared batch stages into one request's span tree.
+
+        The batch work (assembly, tokenize, forward) happened once for
+        the whole drain, but causally belongs to every member request —
+        each gets its own copies (fresh span ids, shared timestamps).
+        """
+        root = request.span
+        self.tracer.attach(root, "batch_assembly", start=drained,
+                           end=assembled, batch_size=batch_size)
+        if stages is not None:
+            for record in stages.records:
+                self.tracer.attach(root, record.name, start=record.start,
+                                   end=record.end, **record.attrs)
+        self.tracer.attach(root, "postprocess", start=done, end=done)
+        attrs = {"outcome": "degraded" if outcome.degraded else "ok",
+                 "probability": outcome.probability}
+        if outcome.degraded and outcome.error:
+            attrs["reason"] = outcome.error
+        self.tracer.finish(root, end=done, **attrs)

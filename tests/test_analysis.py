@@ -34,7 +34,7 @@ class TestSelfLint:
 
     def test_rule_catalog(self):
         rules = available_rules()
-        assert len(rules) == 11
+        assert len(rules) == 12
         ids = [r.id for r in rules]
         assert len(set(ids)) == len(ids)
         assert all(r.id.startswith("RA") and r.name and r.hint
@@ -187,6 +187,44 @@ class TestLintRules:
         assert not _only(source, "RA111", package="repro.matching.api")
         assert not _only(source, "RA111", package="repro.serve.clock")
         assert _only(source, "RA111", package="repro.serve.sim")
+
+    def test_ra112_bare_span_flagged(self):
+        bad = ("def score(tracer, stages, pairs):\n"
+               "    span = tracer.span('forward')\n"
+               "    record = stages.stage('tokenize', pairs=len(pairs))\n"
+               "    return pairs\n")
+        hits = _only(bad, "RA112", package="repro.serve.backends")
+        assert [v.line for v in hits] == [2, 3]
+        assert _only(bad, "RA112", package="repro.matching.engine")
+
+    def test_ra112_with_and_enter_context_allowed(self):
+        good = ("from contextlib import ExitStack\n"
+                "def score(tracer, stages, pairs):\n"
+                "    with tracer.span('forward'):\n"
+                "        pass\n"
+                "    with ExitStack() as scope:\n"
+                "        record = scope.enter_context(\n"
+                "            stages.stage('tokenize', pairs=len(pairs)))\n"
+                "    return record\n")
+        assert not _only(good, "RA112", package="repro.serve.backends")
+
+    def test_ra112_trace_start_without_with(self):
+        bad = ("def admit(tracer, now):\n"
+               "    tracer.start('request', start=now)\n")
+        assert len(_only(bad, "RA112",
+                         package="repro.serve.service")) == 1
+        # Non-tracing receivers may call .start() bare (threads, the
+        # service itself), and the cross-thread lifecycle API is exempt.
+        fine = ("def boot(thread, tracer, request):\n"
+                "    thread.start()\n"
+                "    tracer.begin_request(request_id=request)\n")
+        assert not _only(fine, "RA112", package="repro.serve.service")
+
+    def test_ra112_only_applies_to_serve_and_matching(self):
+        source = "def f(tracer):\n    return tracer.span('x')\n"
+        assert not _only(source, "RA112", package="repro.obs.context")
+        assert _only(source, "RA112", package="repro.serve.service")
+        assert _only(source, "RA112", package="repro.matching.api")
 
     def test_ra108_legacy_global_rng(self):
         source = ("import numpy as np\n"

@@ -430,3 +430,428 @@ class TestBenchSidecar:
         names = {e["payload"].get("name") for e in events
                  if e["kind"] == "span"}
         assert "bench-phase" in names
+
+
+# -- repro.obs v2: request tracing, exposition, SLOs, dashboard -----------
+
+import io
+import json
+import urllib.error
+import urllib.request
+
+from repro.obs import (LATENCY_BUCKETS, SLO, Alert, BatchStages,
+                       BurnWindow, CardinalityError, FAST_BURN,
+                       Histogram, MetricsHTTPServer, RequestTracer,
+                       SLOMonitor, SpanExporter, TraceSampler,
+                       default_serve_slos, parse_prometheus,
+                       read_events_tolerant, render_prometheus)
+from repro.serve import VirtualClock
+
+
+class TestTraceContextUnits:
+    def test_sampler_stride_and_bounds(self):
+        sampler = TraceSampler(0.25)
+        assert [sampler.sampled(i) for i in range(5)] \
+            == [True, False, False, False, True]
+        assert all(TraceSampler(1.0).sampled(i) for i in range(10))
+        assert not any(TraceSampler(0.0).sampled(i) for i in range(10))
+        with pytest.raises(ValueError):
+            TraceSampler(1.5)
+        with pytest.raises(ValueError):
+            TraceSampler(float("nan"))
+
+    def test_lifecycle_builds_tree_on_bound_clock(self):
+        clock = VirtualClock()
+        tracer = RequestTracer(clock=clock)
+        root = tracer.begin_request(request_id=7)
+        child = tracer.child(root, "queue_wait")
+        clock.advance(0.125)
+        tracer.end(child, waited=0.125)
+        tracer.attach(root, "forward", start=0.125, end=0.125, rows=1)
+        tracer.finish(root, outcome="ok")
+
+        assert child.duration == 0.125 == root.duration
+        assert [s.name for s, _ in root.walk()] \
+            == ["serve.request", "queue_wait", "forward"]
+        assert all(s.parent_id == root.span_id
+                   for s in root.children)
+        payload = child.as_dict()
+        assert payload["parent_span_id"] == root.span_id
+        assert payload["seconds"] == 0.125
+        assert tracer.snapshot() == [root]
+
+    def test_bind_clock_does_not_override_explicit_clock(self):
+        clock = VirtualClock()
+        tracer = RequestTracer(clock=clock)
+        tracer.bind_clock(VirtualClock())
+        clock.advance(2.0)
+        assert tracer.now() == 2.0
+
+    def test_span_context_manager_closes_on_error(self):
+        tracer = RequestTracer(clock=VirtualClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("serve.request"):
+                raise RuntimeError("boom")
+        (root,) = tracer.snapshot()
+        assert root.end is not None
+
+    def test_batch_stages_record_shared_clock(self):
+        clock = VirtualClock()
+        stages = BatchStages(clock.now)
+        with stages.stage("tokenize", pairs=4):
+            clock.advance(0.25)
+        (record,) = stages.records
+        assert (record.name, record.start, record.end) \
+            == ("tokenize", 0.0, 0.25)
+        assert record.attrs == {"pairs": 4}
+
+
+class TestTolerantEventRead:
+    def _write(self, path):
+        sink = JsonlSink(path)
+        run = TelemetryRun(sink, run_id="r")
+        run.emit("run_begin", command="test")
+        run.close()
+
+    def test_truncated_tail_is_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        self._write(path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"run_id": "r", "ts": 1.0, "se')  # torn write
+        events, skipped = read_events_tolerant(path)
+        assert skipped == 1
+        assert all(isinstance(e, dict) for e in events)
+        with pytest.raises(json.JSONDecodeError):
+            read_events(path)
+
+    def test_non_dict_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "odd.jsonl"
+        path.write_text('42\n"string"\n')
+        assert read_events_tolerant(path) == ([], 2)
+
+    def test_cli_report_warns_but_renders(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        self._write(path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"broken')
+        assert main(["telemetry", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "warning: skipped 1 corrupt/truncated line(s)" in out
+        assert "telemetry report" in out
+
+
+class TestCardinalityGuard:
+    def test_label_explosion_raises(self):
+        registry = MetricsRegistry(max_series_per_metric=3)
+        for i in range(3):
+            registry.counter("hits", labels={"route": str(i)}).inc()
+        with pytest.raises(CardinalityError):
+            registry.counter("hits", labels={"route": "boom"})
+        # Existing series stay reachable after the guard trips.
+        registry.counter("hits", labels={"route": "1"}).inc()
+        assert registry.counter("hits",
+                                labels={"route": "1"}).value == 2.0
+
+    def test_same_labels_reuse_one_series(self):
+        registry = MetricsRegistry(max_series_per_metric=2)
+        first = registry.counter("c", labels={"a": "x", "b": "y"})
+        second = registry.counter("c", labels={"b": "y", "a": "x"})
+        assert first is second
+
+
+class TestPrometheusExposition:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(7)
+        registry.gauge("serve.queue.depth", labels={"svc": "m"}).set(3)
+        latency = registry.histogram("serve.latency_seconds",
+                                     buckets=LATENCY_BUCKETS)
+        latency.observe(0.004, exemplar="trace-00000001")
+        latency.observe(0.3)
+        registry.histogram("serve.batch.wait").observe(0.5)
+        return registry
+
+    def test_render_covers_all_kinds(self):
+        text = render_prometheus(self._registry())
+        assert "# TYPE serve_requests counter" in text
+        assert "serve_requests 7" in text
+        assert 'serve_queue_depth{svc="m"} 3' in text
+        assert "# TYPE serve_latency_seconds histogram" in text
+        assert 'serve_latency_seconds_bucket{le="+Inf"} 2' in text
+        assert "serve_latency_seconds_count 2" in text
+        # Bucketless histograms render as summary quantiles.
+        assert "# TYPE serve_batch_wait summary" in text
+        assert 'serve_batch_wait{quantile="0.99"}' in text
+
+    def test_exemplar_links_bucket_to_trace(self):
+        text = render_prometheus(self._registry())
+        line = next(l for l in text.splitlines()
+                    if l.startswith('serve_latency_seconds_bucket'
+                                    '{le="0.005"}'))
+        assert '# {trace_id="trace-00000001"} 0.004' in line
+
+    def test_parse_round_trips_render(self):
+        series = parse_prometheus(render_prometheus(self._registry()))
+        assert series["serve_requests"] == 7.0
+        assert series['serve_queue_depth{svc="m"}'] == 3.0
+        assert series['serve_latency_seconds_bucket{le="+Inf"}'] == 2.0
+        assert series["serve_latency_seconds_sum"] \
+            == pytest.approx(0.304)
+
+    def test_http_endpoint_serves_metrics_and_health(self):
+        registry = self._registry()
+        with MetricsHTTPServer(registry,
+                               health=lambda: {"queue_depth": 0}) as srv:
+            with urllib.request.urlopen(f"{srv.url}/metrics") as resp:
+                assert resp.status == 200
+                body = resp.read().decode("utf-8")
+            assert body == render_prometheus(registry)
+            with urllib.request.urlopen(f"{srv.url}/healthz") as resp:
+                health = json.loads(resp.read())
+            assert health["status"] == "ok"
+            assert health["queue_depth"] == 0
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                urllib.request.urlopen(f"{srv.url}/nope")
+            assert exc_info.value.code == 404
+
+    def test_failing_health_probe_reports_failing(self):
+        def probe():
+            raise RuntimeError("backend gone")
+
+        with MetricsHTTPServer(MetricsRegistry(), health=probe) as srv:
+            with urllib.request.urlopen(f"{srv.url}/healthz") as resp:
+                assert json.loads(resp.read())["status"] == "failing"
+
+
+class TestSpanExporter:
+    def _trace(self, tracer, clock):
+        root = tracer.begin_request(request_id=1)
+        span = tracer.child(root, "queue_wait")
+        clock.advance(0.01)
+        tracer.end(span)
+        tracer.finish(root, outcome="ok")
+        return root
+
+    def test_export_emits_schema_valid_span_events(self):
+        clock = VirtualClock()
+        tracer = RequestTracer(clock=clock)
+        self._trace(tracer, clock)
+        sink = MemorySink()
+        exporter = SpanExporter(sink)
+        assert exporter.drain(tracer) == 1  # one trace...
+        assert len(sink.events) == 2        # ...two spans
+        for event in sink.events:
+            validate_event(event)
+            assert event["kind"] == "span"
+        root_event, child_event = sink.events
+        assert child_event["payload"]["parent_span_id"] \
+            == root_event["payload"]["span_id"]
+        assert child_event["payload"]["depth"] == 1
+
+    def test_drain_deduplicates_by_trace_id(self):
+        clock = VirtualClock()
+        tracer = RequestTracer(clock=clock)
+        self._trace(tracer, clock)
+        exporter = SpanExporter(MemorySink())
+        assert exporter.drain(tracer) == 1
+        assert exporter.drain(tracer) == 0
+        self._trace(tracer, clock)
+        assert exporter.drain(tracer) == 1
+
+
+class TestSLOBurnRate:
+    """Multi-window multi-burn-rate alerting, deterministic on the
+    virtual clock (ticks every 300 s, the fast window's short arm)."""
+
+    @staticmethod
+    def _monitor():
+        clock = VirtualClock()
+        registry = MetricsRegistry()
+        registry.counter("serve.requests")
+        registry.counter("serve.timeouts")
+        registry.histogram("serve.latency_seconds",
+                           buckets=LATENCY_BUCKETS)
+        monitor = SLOMonitor(default_serve_slos(), registry=registry,
+                             clock=clock)
+        monitor.record()
+        return clock, registry, monitor
+
+    @staticmethod
+    def _tick(clock, registry, monitor, requests=100, errors=0,
+              latency=0.01):
+        clock.advance(300.0)
+        registry.counter("serve.requests").inc(requests)
+        if errors:
+            registry.counter("serve.timeouts").inc(errors)
+        for _ in range(requests):
+            registry.histogram("serve.latency_seconds",
+                               buckets=LATENCY_BUCKETS).observe(latency)
+        monitor.record()
+        monitor.evaluate()
+
+    def _alert(self, monitor, slo, window) -> Alert:
+        return monitor.alerts[(slo, window)]
+
+    def test_fast_burn_fires_and_clears_deterministically(self):
+        clock, registry, monitor = self._monitor()
+        for _ in range(12):  # one healthy hour
+            self._tick(clock, registry, monitor)
+        alert = self._alert(monitor, "serve-availability", "fast_burn")
+        assert not alert.firing
+
+        for _ in range(4):  # 20 min at 50% errors
+            self._tick(clock, registry, monitor, errors=50)
+        assert alert.firing
+        assert alert.burn_short == pytest.approx(50.0)  # 0.5 / 0.01
+        assert alert.transitions[-1] == ("fired", clock.now())
+
+        fired_at = clock.now()
+        self._tick(clock, registry, monitor)  # healthy again
+        assert not alert.firing
+        assert alert.transitions[-2:] == [("fired", fired_at),
+                                          ("cleared", clock.now())]
+
+    def test_short_burst_does_not_page(self):
+        clock, registry, monitor = self._monitor()
+        for _ in range(12):
+            self._tick(clock, registry, monitor)
+        # One bad tick: the short window burns hot, but over the full
+        # hour the healthy history dilutes it below the 14.4 factor.
+        self._tick(clock, registry, monitor, errors=50)
+        alert = self._alert(monitor, "serve-availability", "fast_burn")
+        assert alert.burn_short >= 14.4
+        assert alert.burn_long < 14.4
+        assert not alert.firing
+
+    def test_slow_burn_catches_simmering_error_rate(self):
+        clock, registry, monitor = self._monitor()
+        fast = self._alert(monitor, "serve-availability", "fast_burn")
+        slow = self._alert(monitor, "serve-availability", "slow_burn")
+        # 10% errors: burn 10 — under the fast factor (14.4), over the
+        # slow factor (6.0).
+        for _ in range(24):  # two hours
+            self._tick(clock, registry, monitor, errors=10)
+        assert slow.firing and not fast.firing
+
+    def test_latency_slo_uses_exact_bucket_counts(self):
+        clock, registry, monitor = self._monitor()
+        for _ in range(12):
+            self._tick(clock, registry, monitor)
+        alert = self._alert(monitor, "serve-latency", "fast_burn")
+        assert not alert.firing
+        # Budget is 0.05, so the hour-long arm needs ~72% bad to hit
+        # the 14.4 factor: 10 of the window's 12 ticks all-slow.
+        for _ in range(10):
+            self._tick(clock, registry, monitor, latency=0.9)
+        assert alert.firing
+        assert alert.burn_short == pytest.approx(20.0)  # 1.0 / 0.05
+
+    def test_budget_remaining_can_overdraw(self):
+        clock, registry, monitor = self._monitor()
+        self._tick(clock, registry, monitor)
+        assert monitor.error_budget_remaining("serve-availability") \
+            == pytest.approx(1.0)
+        self._tick(clock, registry, monitor, errors=100)
+        assert monitor.error_budget_remaining("serve-availability") < 0
+        with pytest.raises(KeyError):
+            monitor.error_budget_remaining("nope")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLO("x", 1.5, lambda r: (0, 0))
+        with pytest.raises(ValueError):
+            BurnWindow("w", long_seconds=60.0, short_seconds=60.0,
+                       factor=2.0)
+        with pytest.raises(ValueError):
+            BurnWindow("w", long_seconds=60.0, short_seconds=30.0,
+                       factor=0.0)
+        with pytest.raises(ValueError):
+            SLOMonitor([], registry=MetricsRegistry())
+
+
+class TestDashboard:
+    def test_demo_state_is_deterministic(self):
+        from repro.obs.top import demo_state
+        first, second = demo_state(), demo_state()
+        assert first["counters"] == second["counters"]
+        assert first["latency"] == second["latency"]
+        assert first["counters"]["completed"] == 120.0
+        assert first["counters"]["degraded"] == 2.0
+        assert [t["trace_id"] for t in first["slowest"]] \
+            == [t["trace_id"] for t in second["slowest"]]
+
+    def test_render_dashboard_sections(self):
+        from repro.obs.top import demo_state, render_dashboard
+        text = render_dashboard(demo_state())
+        assert "repro obs top — source: demo (virtual)" in text
+        assert "completed     120" in text
+        assert "error budget:" in text
+        assert "serve-availability" in text
+        assert "slowest recent traces:" in text
+        assert "queue_wait" in text
+
+    def test_gather_url_matches_local_counters(self):
+        from repro.obs.top import gather_local, gather_url
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(9)
+        registry.counter("serve.completed").inc(8)
+        registry.gauge("serve.queue.depth").set(1)
+        hist = registry.histogram("serve.latency_seconds",
+                                  buckets=LATENCY_BUCKETS)
+        for value in (0.004, 0.02, 0.02, 0.3):
+            hist.observe(value)
+        with MetricsHTTPServer(registry) as srv:
+            scraped = gather_url(srv.url)
+        local = gather_local(registry)
+        assert scraped["counters"] == local["counters"]
+        assert scraped["queue_depth"] == 1.0
+        assert scraped["latency"]["count"] == 4.0
+        # Scraped quantiles are bucket-reconstructed: same bucket as
+        # the in-process exact values.
+        assert scraped["latency"]["p50"] <= 0.025
+        assert scraped["latency"]["p99"] >= 0.25
+
+    def test_run_top_snapshot_prints_once(self):
+        from repro.obs.top import run_top
+        frames = []
+
+        def gather():
+            return {"source": "t", "queue_depth": 0,
+                    "counters": dict.fromkeys(
+                        ("requests", "completed", "rejected",
+                         "timeouts", "degraded"), 0),
+                    "latency": {"count": 0, "p50": 0.0, "p95": 0.0,
+                                "p99": 0.0},
+                    "batch": {"count": 0, "mean": 0.0, "max": 0.0},
+                    "slo": [], "slowest": []}
+
+        stream = io.StringIO()
+        assert run_top(gather, stream=stream, live=False) == 0
+        assert stream.getvalue().count("repro obs top") == 1
+
+    def test_run_top_live_iterations_clear_screen(self):
+        from repro.obs.top import run_top
+        stream = io.StringIO()
+        naps = []
+        state = {"source": "t", "queue_depth": 0,
+                 "counters": dict.fromkeys(
+                     ("requests", "completed", "rejected", "timeouts",
+                      "degraded"), 0),
+                 "latency": {"count": 0, "p50": 0.0, "p95": 0.0,
+                             "p99": 0.0},
+                 "batch": {"count": 0, "mean": 0.0, "max": 0.0},
+                 "slo": [], "slowest": []}
+        assert run_top(lambda: state, stream=stream, live=True,
+                       iterations=3, interval=0.5,
+                       sleep=naps.append) == 0
+        assert stream.getvalue().count("\x1b[2J") == 3
+        assert naps == [0.5, 0.5]
+
+    def test_cli_obs_top_demo_snapshot(self, capsys):
+        assert main(["obs", "top", "--demo", "--snapshot"]) == 0
+        out = capsys.readouterr().out
+        assert "repro obs top — source: demo (virtual)" in out
+
+    def test_cli_obs_top_requires_a_source(self, capsys):
+        assert main(["obs", "top"]) == 2
+        assert "--url" in capsys.readouterr().err

@@ -807,3 +807,158 @@ class TestBenchReport:
         assert validate_serve_report(report) == []
         assert report["smoke"] is True
         assert set(report["levels"]) == {"0.5x", "1x", "2x"}
+
+
+class TestRequestTracing:
+    """Tentpole: every sampled request yields a complete causal span
+    tree, exactly reproducible under the virtual clock."""
+
+    @staticmethod
+    def _service(clock, config=None, chaos=None):
+        return MatchService(
+            CallableBackend(_digit_score),
+            config or ServeConfig(max_batch_size=8, max_wait_ms=5.0),
+            clock=clock, registry=MetricsRegistry(), chaos=chaos)
+
+    def test_span_tree_structure_and_ids(self):
+        clock = VirtualClock()
+        service = self._service(clock)
+        tickets = [service.submit(*_pair(i)) for i in range(3)]
+        service.start()
+        service.close(drain=True)
+
+        roots = service.tracer.snapshot()
+        assert len(roots) == 3
+        seen_span_ids = set()
+        for root, ticket in zip(roots, tickets):
+            assert root.name == "serve.request"
+            assert ticket.trace_id == root.trace_id
+            assert root.attrs["outcome"] == "ok"
+            names = root.stage_names()
+            assert names[:2] == ["enqueue", "queue_wait"]
+            assert names[-1] == "postprocess"
+            assert {"batch_assembly", "forward"} <= set(names)
+            for span, depth in root.walk():
+                assert span.trace_id == root.trace_id
+                assert span.end is not None
+                assert span.span_id not in seen_span_ids
+                seen_span_ids.add(span.span_id)
+                if depth:
+                    assert span.parent_id == root.span_id
+
+    def test_queue_wait_duration_is_exact(self):
+        clock = VirtualClock()
+        service = self._service(
+            clock, ServeConfig(max_batch_size=8, max_wait_ms=50.0))
+        service.start()
+        ticket = service.submit(*_pair(1))
+        _drain_all(service, clock)  # flush timer fires at exactly 50 ms
+        service.close(drain=True)
+
+        assert ticket.result(timeout=10.0).probability == 1 / 10_000.0
+        (root,) = service.tracer.snapshot()
+        wait = root.find("queue_wait")
+        assert wait.duration == 0.05  # exact under the virtual clock
+        assert wait.attrs["waited"] == 0.05
+        assert root.duration == 0.05
+
+    def test_child_durations_sum_to_request_latency(self):
+        clock = VirtualClock()
+        service = self._service(
+            clock, ServeConfig(max_batch_size=4, max_wait_ms=10.0,
+                               max_queue=64))
+        workload = generate_workload(
+            [_pair(i) for i in range(10)], num_requests=25, rate=300.0,
+            seed=5, pattern="poisson")
+        report = run_simulation(service, workload)
+
+        roots = service.tracer.snapshot()
+        assert report.completed == len(roots) == 25
+        for root in roots:
+            total = sum(child.duration for child in root.children)
+            assert abs(total - root.duration) < 1e-12
+
+    def test_degraded_request_span_carries_reason(self):
+        clock = VirtualClock()
+        service = self._service(
+            clock, chaos=ChaosMonkey(
+                ChaosConfig(poison_forward_rows={1})))
+        tickets = [service.submit(*_pair(i)) for i in range(3)]
+        service.start()
+        service.close(drain=True)
+
+        assert tickets[1].result(timeout=10.0).degraded
+        by_request = {root.attrs["request_id"]: root
+                      for root in service.tracer.snapshot()}
+        assert by_request[1].attrs["outcome"] == "degraded"
+        assert "chaos" in by_request[1].attrs["reason"]
+        assert by_request[0].attrs["outcome"] == "ok"
+        assert "reason" not in by_request[0].attrs
+
+    def test_sampling_is_deterministic_head_stride(self):
+        clock = VirtualClock()
+        service = self._service(
+            clock, ServeConfig(max_batch_size=8, max_wait_ms=5.0,
+                               trace_sample_rate=0.5))
+        tickets = [service.submit(*_pair(i)) for i in range(6)]
+        service.start()
+        service.close(drain=True)
+
+        # Stride 2 keyed on the request sequence number: 0, 2, 4.
+        assert [t.trace_id is not None for t in tickets] \
+            == [True, False, True, False, True, False]
+        assert len(service.tracer.snapshot()) == 3
+
+    def test_sampling_off_disables_tracing(self):
+        clock = VirtualClock()
+        service = self._service(
+            clock, ServeConfig(max_batch_size=8, max_wait_ms=5.0,
+                               trace_sample_rate=0.0))
+        ticket = service.submit(*_pair(1))
+        service.start()
+        service.close(drain=True)
+        assert ticket.result(timeout=10.0) is not None
+        assert ticket.trace_id is None
+        assert service.tracer.snapshot() == []
+
+    def test_legacy_backend_without_stages_still_traces(self):
+        class LegacyBackend:
+            """Pre-stages protocol: no ``stages`` parameter."""
+
+            def __init__(self):
+                self._inner = CallableBackend(_digit_score)
+
+            def score(self, pairs, keys, threshold, fallback,
+                      forward_hook=None, cb=None):
+                return self._inner.score(pairs, keys, threshold,
+                                         fallback, forward_hook, cb)
+
+        service = MatchService(
+            LegacyBackend(), ServeConfig(max_batch_size=8,
+                                         max_wait_ms=5.0),
+            clock=VirtualClock(), registry=MetricsRegistry())
+        ticket = service.submit(*_pair(2))
+        service.start()
+        service.close(drain=True)
+
+        assert ticket.result(timeout=10.0).probability == 2 / 10_000.0
+        (root,) = service.tracer.snapshot()
+        names = root.stage_names()
+        assert "queue_wait" in names and "batch_assembly" in names
+        assert "forward" not in names  # legacy backend: no stage records
+
+    def test_timeout_span_finishes_with_reason(self):
+        clock = VirtualClock()
+        service = self._service(
+            clock, ServeConfig(max_batch_size=8, max_wait_ms=200.0))
+        service.start()
+        ticket = service.submit(*_pair(1), timeout_ms=20.0)
+        _drain_all(service, clock)
+        service.close(drain=True)
+
+        with pytest.raises(RequestTimeout):
+            ticket.result(timeout=10.0)
+        (root,) = service.tracer.snapshot()
+        assert root.attrs["outcome"] == "timeout"
+        assert "deadline" in root.attrs["reason"]
+        assert root.find("queue_wait").end is not None
