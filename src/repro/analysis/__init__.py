@@ -22,16 +22,28 @@ framework would guard against.  This package is the guard rail
   statically enumerates every differentiable ``Tensor`` op and every
   ``Module`` subclass and cross-references the test suite; run it with
   ``repro audit``.
+* :mod:`repro.analysis.concurrency` — the concurrency suite
+  (DESIGN.md §14): static rules RA113–RA117 (lock-order inversion,
+  unguarded state writes against ``# guard:`` / ``@guarded_by``
+  contracts, condition waits outside predicate loops, blocking calls
+  under locks, manual acquire/release), the opt-in Eraser-style
+  :class:`RaceDetector`, and the seeded :class:`ScheduleExplorer`
+  behind ``repro races``.
 """
 
 from .lint import (LintRule, Violation, available_rules, format_json,
                    format_text, lint_paths, lint_source)
 from .sanitize import AnomalyError, detect_anomalies, is_sanitizing
 from .audit import CoverageReport, audit_coverage, module_classes, tensor_ops
+from .concurrency import (RaceDetector, RaceError, RaceReport,
+                          ScheduleExplorer, ScheduleResult, run_races,
+                          run_scenario)
 
 __all__ = [
     "LintRule", "Violation", "available_rules", "lint_paths", "lint_source",
     "format_text", "format_json",
     "AnomalyError", "detect_anomalies", "is_sanitizing",
     "CoverageReport", "audit_coverage", "tensor_ops", "module_classes",
+    "RaceDetector", "RaceError", "RaceReport",
+    "ScheduleExplorer", "ScheduleResult", "run_scenario", "run_races",
 ]

@@ -1,0 +1,31 @@
+"""Concurrency analysis: static rules, lockset detection, scheduling.
+
+Three layers over the same conventions (``# guard:`` comments,
+:func:`~repro.utils.concurrency.guarded_by`, ``access``/``checkpoint``
+hooks, ``make_lock`` factories):
+
+* :mod:`.rules` — lint rules RA113–RA117, registered into the
+  :mod:`repro.analysis.lint` catalog;
+* :mod:`.lockset` — the opt-in runtime :class:`RaceDetector`
+  (Eraser-style locksets + lock-order cycle watching) and its traced
+  primitive wrappers;
+* :mod:`.schedule` / :mod:`.scenarios` — the seeded
+  :class:`ScheduleExplorer` and the ``repro races`` scenario suite
+  built on it.
+"""
+
+from ...utils.concurrency import access, checkpoint, guarded_by
+from .lockset import (RaceDetector, RaceError, RaceReport, TracedCondition,
+                      TracedLock, TracedRLock, replay)
+from .rules import CONCURRENCY_RULES
+from .scenarios import SCENARIO_NAMES, run_races, run_scenario
+from .schedule import ScheduleExplorer, ScheduleResult
+
+__all__ = [
+    "CONCURRENCY_RULES",
+    "RaceDetector", "RaceError", "RaceReport",
+    "TracedLock", "TracedRLock", "TracedCondition", "replay",
+    "ScheduleExplorer", "ScheduleResult",
+    "SCENARIO_NAMES", "run_scenario", "run_races",
+    "guarded_by", "access", "checkpoint",
+]

@@ -1,0 +1,439 @@
+"""Runtime race detection: Eraser-style locksets + lock-order watching.
+
+:class:`RaceDetector` is the dynamic half of the concurrency suite
+(the static half is :mod:`repro.analysis.concurrency.rules`).  It is an
+opt-in context manager mirroring ``sanitize.detect_anomalies``: while
+active it installs the :mod:`repro.utils.concurrency` access hook and
+lock factory, so
+
+* locks created through ``make_lock`` / ``make_rlock`` /
+  ``make_condition`` come back as traced wrappers that report every
+  acquire/release, and
+* every ``access(owner, attr, write=...)`` call in instrumented code
+  reports a shared-state access.
+
+Two algorithms run over that event stream:
+
+**Lockset (Eraser).**  Each shared variable ``v`` walks the classic
+state machine *virgin → exclusive → shared → shared-modified*.  Once
+``v`` leaves its first-thread exclusive phase, its candidate lockset
+``C(v)`` is intersected with the locks the accessing thread holds; an
+*empty* ``C(v)`` in the shared-modified state means some write is not
+consistently protected by any lock — a data race, reported regardless
+of whether the unlucky interleaving actually happened on this run.
+
+**Lock-order watching.**  Acquiring ``B`` while holding ``A`` adds the
+edge ``A → B`` to a persistent acquisition graph; the first acquisition
+that closes a cycle is reported as a potential deadlock — again without
+needing the deadlock to occur.
+
+Reports carry the active obs span path (when tracing is on) so a race
+in a served request points back into its trace.  :func:`replay` runs
+the same state machines over an explicit event list with no threads at
+all — the determinism contract the hypothesis permutation tests pin
+down.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ...utils import concurrency as hooks
+
+__all__ = ["RaceReport", "RaceError", "RaceDetector", "replay",
+           "TracedLock", "TracedRLock", "TracedCondition"]
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One confirmed finding: a lockset violation or an order cycle."""
+
+    kind: str                    #: "unlocked-shared-write" | "lock-order-cycle"
+    subject: str                 #: "Type.attr" or "lockA -> lockB"
+    threads: tuple[str, ...]     #: thread names involved (sorted)
+    locks: tuple[str, ...]       #: final lockset / cycle locks (sorted)
+    span_path: str | None        #: active obs span path, if tracing
+    detail: str
+
+    def describe(self) -> str:
+        where = f" [span {self.span_path}]" if self.span_path else ""
+        return f"{self.kind}: {self.subject} — {self.detail}{where}"
+
+
+class RaceError(RuntimeError):
+    """Raised by ``RaceDetector(raise_on_race=True)`` on exit."""
+
+    def __init__(self, report: RaceReport):
+        super().__init__(report.describe())
+        self.report = report
+
+
+@dataclass
+class _VarState:
+    """Per-variable Eraser state machine."""
+
+    label: str
+    owner: int                       # first-accessor thread id
+    state: str = "exclusive"         # exclusive | shared | shared-modified
+    lockset: frozenset = frozenset()
+    threads: set = field(default_factory=set)
+    reported: bool = False
+
+
+class TracedLock:
+    """``threading.Lock`` wrapper reporting to a :class:`RaceDetector`.
+
+    Under an active schedule explorer, contended acquisition becomes a
+    non-blocking try-acquire loop that yields at each failure, so the
+    seeded scheduler (not the OS) decides who wins the lock.
+    """
+
+    _reentrant = False
+
+    def __init__(self, detector: "RaceDetector", label: str):
+        self._detector = detector
+        self._label = label
+        self._inner = self._make_inner()
+
+    @staticmethod
+    def _make_inner():
+        return threading.Lock()
+
+    @property
+    def label(self) -> str:
+        return self._label
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if not blocking or (timeout is not None and timeout >= 0):
+            got = self._inner.acquire(blocking, timeout) \
+                if blocking else self._inner.acquire(False)
+            if got:
+                self._detector._acquired(self._label, self._reentrant)
+            return got
+        if not self._inner.acquire(blocking=False):
+            if hooks.checkpoint_hook() is None:
+                self._inner.acquire()
+            else:
+                while not self._inner.acquire(blocking=False):
+                    if not hooks.blocked(self._label):
+                        self._inner.acquire()
+                        break
+        self._detector._acquired(self._label, self._reentrant)
+        return True
+
+    def release(self) -> None:
+        self._detector._released(self._label)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> "TracedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class TracedRLock(TracedLock):
+    """Reentrant variant: nested acquisitions add no order edges."""
+
+    _reentrant = True
+
+    @staticmethod
+    def _make_inner():
+        return threading.RLock()
+
+
+class TracedCondition:
+    """``threading.Condition`` wrapper reporting to a detector.
+
+    The inner condition owns a private RLock; the wrapper books the
+    lock as released for the duration of a ``wait`` / ``wait_for``
+    (the underlying wait drops it while blocked), so lockset
+    intersection never credits a sleeping waiter with protection.
+    """
+
+    def __init__(self, detector: "RaceDetector", label: str):
+        self._detector = detector
+        self._label = label
+        self._inner = threading.Condition()
+
+    @property
+    def label(self) -> str:
+        return self._label
+
+    def acquire(self) -> bool:
+        if not self._inner.acquire(blocking=False):
+            if hooks.checkpoint_hook() is None:
+                self._inner.acquire()
+            else:
+                while not self._inner.acquire(blocking=False):
+                    if not hooks.blocked(self._label):
+                        self._inner.acquire()
+                        break
+        self._detector._acquired(self._label, reentrant=True)
+        return True
+
+    def release(self) -> None:
+        self._detector._released(self._label)
+        self._inner.release()
+
+    def __enter__(self) -> "TracedCondition":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        self._detector._released(self._label)
+        try:
+            return self._inner.wait(timeout)
+        finally:
+            self._detector._acquired(self._label, reentrant=True)
+
+    def wait_for(self, predicate, timeout: float | None = None) -> bool:
+        self._detector._released(self._label)
+        try:
+            return self._inner.wait_for(predicate, timeout)
+        finally:
+            self._detector._acquired(self._label, reentrant=True)
+
+    def notify(self, n: int = 1) -> None:
+        self._inner.notify(n)
+
+    def notify_all(self) -> None:
+        self._inner.notify_all()
+
+
+class RaceDetector:
+    """Opt-in lockset + lock-order race detector (context manager).
+
+    ::
+
+        with RaceDetector() as detector:
+            cache = LRUCache(64)          # its lock is traced
+            ... hammer it from threads ...
+        assert not detector.reports
+
+    Only one detector may be active at a time (the hooks are global).
+    ``raise_on_race=True`` turns the first report into a
+    :class:`RaceError` on exit; the default records reports for the
+    caller to inspect.  The detector also *serves as the lock factory*
+    (:meth:`make_lock` / :meth:`make_rlock` / :meth:`make_condition`)
+    and can be used un-entered as a pure state machine — that is what
+    :func:`replay` does.
+    """
+
+    _active: "RaceDetector | None" = None
+
+    def __init__(self, raise_on_race: bool = False,
+                 max_reports: int = 100):
+        self.raise_on_race = raise_on_race
+        self.max_reports = max_reports
+        self.reports: list[RaceReport] = []
+        self._lock = threading.Lock()     # internal; deliberately raw
+        self._held: dict[int, list[str]] = {}
+        self._vars: dict[tuple[int, str], _VarState] = {}
+        self._edges: dict[str, set[str]] = {}
+        self._edge_seen: set[tuple[str, str]] = set()
+        self._labels: dict[str, int] = {}
+        self._finished = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "RaceDetector":
+        if RaceDetector._active is not None:
+            raise RuntimeError("RaceDetector blocks may not be nested")
+        RaceDetector._active = self
+        hooks.set_access_hook(self._on_access)
+        hooks.set_lock_factory(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        hooks.set_access_hook(None)
+        hooks.set_lock_factory(None)
+        RaceDetector._active = None
+        self._finished = True
+        if (self.raise_on_race and self.reports
+                and exc_type is None):
+            raise RaceError(self.reports[0])
+
+    def assert_clean(self) -> None:
+        """Raise :class:`RaceError` on the first report, if any."""
+        if self.reports:
+            raise RaceError(self.reports[0])
+
+    # -- lock factory (repro.utils.concurrency protocol) ---------------------
+
+    def make_lock(self, label: str) -> TracedLock:
+        return TracedLock(self, self._unique(label))
+
+    def make_rlock(self, label: str) -> TracedRLock:
+        return TracedRLock(self, self._unique(label))
+
+    def make_condition(self, label: str,
+                       lock=None) -> TracedCondition:
+        # A caller-supplied lock cannot be wrapped coherently (its
+        # acquisitions would bypass the wrapper), so the traced
+        # condition always owns a private lock.
+        return TracedCondition(self, self._unique(label))
+
+    def _unique(self, label: str) -> str:
+        with self._lock:
+            n = self._labels.get(label, 0)
+            self._labels[label] = n + 1
+        return label if n == 0 else f"{label}#{n}"
+
+    # -- event intake --------------------------------------------------------
+
+    def _acquired(self, label: str, reentrant: bool,
+                  thread: int | None = None) -> None:
+        tid = threading.get_ident() if thread is None else thread
+        with self._lock:
+            stack = self._held.setdefault(tid, [])
+            if not (reentrant and label in stack):
+                for outer in stack:
+                    if outer != label:
+                        self._order_edge(outer, label)
+            stack.append(label)
+
+    def _released(self, label: str, thread: int | None = None) -> None:
+        tid = threading.get_ident() if thread is None else thread
+        with self._lock:
+            stack = self._held.get(tid, [])
+            if label in stack:
+                stack.reverse()
+                stack.remove(label)
+                stack.reverse()
+
+    def _on_access(self, owner, attr: str, write: bool = True,
+                   thread: int | None = None) -> None:
+        tid = threading.get_ident() if thread is None else thread
+        with self._lock:
+            if self._finished:
+                return
+            held = frozenset(self._held.get(tid, ()))
+            key = (id(owner), attr)
+            state = self._vars.get(key)
+            if state is None:
+                state = _VarState(
+                    label=f"{type(owner).__name__}.{attr}", owner=tid)
+                state.threads.add(self._thread_name(tid))
+                self._vars[key] = state
+                return
+            state.threads.add(self._thread_name(tid))
+            if state.state == "exclusive":
+                if tid == state.owner:
+                    return
+                state.lockset = held
+                state.state = "shared-modified" if write else "shared"
+            else:
+                state.lockset &= held
+                if write:
+                    state.state = "shared-modified"
+            if state.state == "shared-modified" and not state.lockset \
+                    and not state.reported:
+                state.reported = True
+                self._report(RaceReport(
+                    kind="unlocked-shared-write",
+                    subject=state.label,
+                    threads=tuple(sorted(state.threads)),
+                    locks=(),
+                    span_path=self._span_path(),
+                    detail=(f"written by {len(state.threads)} threads "
+                            f"with no lock consistently held "
+                            f"(candidate lockset became empty)")))
+
+    # -- internals -----------------------------------------------------------
+
+    def _order_edge(self, outer: str, inner: str) -> None:
+        # caller holds self._lock
+        if (outer, inner) in self._edge_seen:
+            return
+        self._edge_seen.add((outer, inner))
+        self._edges.setdefault(outer, set()).add(inner)
+        cycle = self._find_path(inner, outer)
+        if cycle is not None:
+            self._report(RaceReport(
+                kind="lock-order-cycle",
+                subject=f"{outer} -> {inner}",
+                threads=(self._thread_name(threading.get_ident()),),
+                locks=tuple(sorted(set(cycle) | {outer})),
+                span_path=self._span_path(),
+                detail=(f"acquiring {inner!r} while holding {outer!r} "
+                        f"closes the cycle "
+                        f"{' -> '.join([outer, *cycle])} — two threads "
+                        f"taking the two orders can deadlock")))
+
+    def _find_path(self, start: str, goal: str) -> list[str] | None:
+        """Path ``start -> ... -> goal`` in the edge graph, if any."""
+        stack = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            for nxt in sorted(self._edges.get(node, ())):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+    def _report(self, report: RaceReport) -> None:
+        if len(self.reports) < self.max_reports:
+            self.reports.append(report)
+
+    @staticmethod
+    def _thread_name(tid: int) -> str:
+        for thread in threading.enumerate():
+            if thread.ident == tid:
+                return thread.name
+        return f"thread-{tid}"
+
+    @staticmethod
+    def _span_path() -> str | None:
+        try:
+            from ...obs.tracing import default_tracer
+        except ImportError:  # pragma: no cover — obs always present
+            return None
+        path = default_tracer().active_path()
+        return path or None
+
+
+def replay(events) -> list[RaceReport]:
+    """Run the detector's state machines over an explicit event list.
+
+    ``events`` is an iterable of ``(thread, op, target)`` tuples with
+    ``op`` one of ``acquire`` / ``release`` / ``read`` / ``write``;
+    ``thread`` is any hashable id and ``target`` a lock or variable
+    name.  No real threads or locks are involved — this is the pure
+    kernel of the algorithm, used to pin down that the verdict for a
+    set of per-thread event sequences is independent of how they
+    interleave (the property the hypothesis tests check).
+    """
+    detector = RaceDetector()
+    owners: dict[str, object] = {}
+
+    class _Var:
+        __slots__ = ("name",)
+
+        def __init__(self, name):
+            self.name = name
+
+    for thread, op, target in events:
+        tid = hash(("replay", thread))
+        if op == "acquire":
+            detector._acquired(target, reentrant=True, thread=tid)
+        elif op == "release":
+            detector._released(target, thread=tid)
+        elif op in ("read", "write"):
+            owner = owners.setdefault(target, _Var(target))
+            detector._on_access(owner, target, write=(op == "write"),
+                                thread=tid)
+        else:
+            raise ValueError(f"unknown replay op {op!r}")
+    return list(detector.reports)

@@ -1,0 +1,503 @@
+"""Concurrency lint rules RA113–RA117.
+
+These extend the :mod:`repro.analysis.lint` catalog into the threading
+domain.  They are pure AST analyses — no imports are executed — built
+around three repo conventions:
+
+* lock-ish attributes are *named* like locks (``_lock``, ``_rlock``,
+  ``_cond``, ``mutex``; the suffix match is anchored so ``clock`` is
+  not a lock);
+* shared state declares its guard with a trailing ``# guard: <lock>``
+  comment on the ``__init__`` assignment that creates it;
+* helper methods that require a caller-held lock carry
+  :func:`repro.utils.concurrency.guarded_by`.
+
+The rules (DESIGN.md §14 has the full rationale):
+
+====== ============================ =============================================
+RA113  lock-order-inversion         two methods of one class acquire the same
+                                    pair of locks in opposite orders (cycle in
+                                    the class's lock-acquisition graph, with
+                                    acquisitions propagated through same-class
+                                    calls)
+RA114  unguarded-state-write        a write to an attribute annotated
+                                    ``# guard: X`` outside ``with self.X:`` and
+                                    without ``@guarded_by("X")``
+RA115  condition-wait-outside-loop  ``cond.wait()`` not inside a ``while``
+                                    predicate loop (lost/spurious wakeups)
+RA116  blocking-call-under-lock     sleeps, file I/O, thread joins, un-timed
+                                    queue ops, foreign waits, or model forwards
+                                    executed while a lock is held
+RA117  manual-acquire-release       bare ``.acquire()``/``.release()`` instead
+                                    of ``with`` (leaks the lock on exceptions)
+====== ============================ =============================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..lint import LintRule, SourceModule, Violation
+
+__all__ = ["CONCURRENCY_RULES"]
+
+#: Anchored lock-name matcher: ``_lock``, ``lock``, ``rlock``,
+#: ``mutex``, ``_cond``, ``condition`` — but *not* ``clock`` (no token
+#: boundary before "lock") or ``_inner``.
+_LOCK_NAME = re.compile(r"(^|_)(r?lock|mutex|cond(ition)?)s?$")
+
+#: Packages whose whole job is wrapping the raw primitives — the
+#: passthrough wrappers legitimately call ``acquire``/``wait`` bare.
+_WRAPPER_PACKAGES = ("repro.analysis.concurrency", "repro.serve.clock")
+
+_GUARD_COMMENT = re.compile(r"#\s*guard:\s*(?:self\.)?([A-Za-z_]\w*)")
+
+
+def _is_lock_name(name: str) -> bool:
+    return bool(_LOCK_NAME.search(name))
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.X`` -> ``"X"``, else ``None``."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _receiver_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _with_locks(node: ast.With) -> list[str]:
+    """Lock-ish names acquired by a ``with`` statement's items."""
+    names = []
+    for item in node.items:
+        expr = item.context_expr
+        attr = _self_attr(expr)
+        name = attr if attr is not None else (
+            expr.id if isinstance(expr, ast.Name) else "")
+        if name and _is_lock_name(name):
+            names.append(name)
+    return names
+
+
+def _functions(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+class _LockOrderInversion(LintRule):
+    """If one code path takes lock A then B while another takes B then
+    A, two threads can each hold one and wait forever for the other.
+    The rule builds, per class, a directed graph of lock acquisition
+    order — ``with self.A:`` nested inside ``with self.B:`` adds the
+    edge B→A, and acquisitions are propagated through same-class method
+    calls to a fixpoint — then flags any cycle."""
+
+    id = "RA113"
+    name = "lock-order-inversion"
+    hint = ("pick one global acquisition order for the locks involved "
+            "and restructure the later acquisition to happen outside "
+            "the first lock's critical section")
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(self, module: SourceModule,
+                     cls: ast.ClassDef) -> Iterator[Violation]:
+        methods = {m.name: m for m in cls.body
+                   if isinstance(m, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef))}
+        edges: dict[tuple[str, str], ast.AST] = {}
+        direct: dict[str, set[str]] = {}
+        calls: dict[str, list[tuple[tuple[str, ...], str, ast.AST]]] = {}
+
+        for name, method in methods.items():
+            direct[name] = set()
+            calls[name] = []
+            self._scan(method, (), name, direct, calls, edges)
+
+        # Propagate acquisitions through same-class calls to a fixpoint
+        # so `with self.A: self._helper()` sees the locks _helper takes.
+        acquired = {name: set(locks) for name, locks in direct.items()}
+        changed = True
+        while changed:
+            changed = False
+            for name in methods:
+                for _held, callee, _node in calls[name]:
+                    if callee in acquired \
+                            and not acquired[callee] <= acquired[name]:
+                        acquired[name] |= acquired[callee]
+                        changed = True
+        for name in methods:
+            for held, callee, node in calls[name]:
+                for inner in acquired.get(callee, ()):
+                    for outer in held:
+                        if inner != outer:
+                            edges.setdefault((outer, inner), node)
+
+        if not edges:
+            return
+        adjacency: dict[str, set[str]] = {}
+        for a, b in edges:
+            adjacency.setdefault(a, set()).add(b)
+        for (a, b), node in sorted(edges.items()):
+            if a < b and self._reachable(adjacency, b, a):
+                yield self.violation(
+                    module, node,
+                    f"class {cls.name} acquires {a!r} before {b!r} here, "
+                    f"but another path acquires them in the opposite "
+                    f"order — two threads can deadlock")
+
+    def _scan(self, node: ast.AST, held: tuple[str, ...], method: str,
+              direct, calls, edges) -> None:
+        for child in ast.iter_child_nodes(node):
+            inner_held = held
+            if isinstance(child, ast.With):
+                locks = _with_locks(child)
+                for lock in locks:
+                    direct[method].add(lock)
+                    for outer in held:
+                        if outer != lock:
+                            edges.setdefault((outer, lock), child)
+                    inner_held = inner_held + (lock,)
+            elif isinstance(child, ast.Call):
+                callee = _self_attr(child.func)
+                if callee is not None:
+                    calls[method].append((held, callee, child))
+            self._scan(child, inner_held, method, direct, calls, edges)
+
+    @staticmethod
+    def _reachable(adjacency: dict[str, set[str]],
+                   start: str, goal: str) -> bool:
+        seen = {start}
+        stack = [start]
+        while stack:
+            for nxt in adjacency.get(stack.pop(), ()):
+                if nxt == goal:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+
+class _UnguardedStateWrite(LintRule):
+    """Shared mutable state annotated ``# guard: <lock>`` on its
+    ``__init__`` assignment must only be written under ``with
+    self.<lock>:`` — or from a method that declares
+    ``@guarded_by("<lock>")`` so its callers take the lock.  A write
+    outside both is a data race once threads are involved."""
+
+    id = "RA114"
+    name = "unguarded-state-write"
+    hint = ("wrap the write in `with self.<guard>:`, or mark the "
+            "method @guarded_by(\"<guard>\") if every caller already "
+            "holds the lock")
+
+    #: In-place container mutations that count as writes.
+    _MUTATORS = frozenset({
+        "append", "appendleft", "extend", "insert", "pop", "popleft",
+        "popitem", "clear", "update", "setdefault", "remove", "discard",
+        "add", "move_to_end", "sort", "reverse", "rotate",
+    })
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        lines = module.source.splitlines()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node, lines)
+
+    def _check_class(self, module: SourceModule, cls: ast.ClassDef,
+                     lines: list[str]) -> Iterator[Violation]:
+        guards = self._declared_guards(cls, lines)
+        if not guards:
+            return
+        guard_methods: dict[str, str] = {}
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            declared = self._guarded_by(method)
+            if declared:
+                guard_methods[method.name] = declared
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__":
+                continue
+            held = frozenset([guard_methods[method.name]]) \
+                if method.name in guard_methods else frozenset()
+            yield from self._scan(module, method, held, guards,
+                                  guard_methods, method.name)
+
+    @staticmethod
+    def _declared_guards(cls: ast.ClassDef,
+                         lines: list[str]) -> dict[str, str]:
+        """``{attr: guard}`` from ``# guard:`` comments in __init__."""
+        guards: dict[str, str] = {}
+        for method in cls.body:
+            if not (isinstance(method, ast.FunctionDef)
+                    and method.name == "__init__"):
+                continue
+            for node in ast.walk(method):
+                targets = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr is None or node.lineno > len(lines):
+                        continue
+                    match = _GUARD_COMMENT.search(lines[node.lineno - 1])
+                    if match:
+                        guards[attr] = match.group(1)
+        return guards
+
+    @staticmethod
+    def _guarded_by(method: ast.AST) -> str | None:
+        for deco in method.decorator_list:
+            if (isinstance(deco, ast.Call)
+                    and _receiver_name(deco.func) == "guarded_by"
+                    and deco.args
+                    and isinstance(deco.args[0], ast.Constant)
+                    and isinstance(deco.args[0].value, str)):
+                return deco.args[0].value.removeprefix("self.")
+        return None
+
+    def _scan(self, module: SourceModule, node: ast.AST,
+              held: frozenset[str], guards: dict[str, str],
+              guard_methods: dict[str, str],
+              where: str) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            inner_held = held
+            if isinstance(child, ast.With):
+                acquired = {attr for item in child.items
+                            if (attr := _self_attr(item.context_expr))}
+                inner_held = held | acquired
+            else:
+                yield from self._check_node(module, child, held, guards,
+                                            guard_methods, where)
+            yield from self._scan(module, child, inner_held, guards,
+                                  guard_methods, where)
+
+    def _check_node(self, module: SourceModule, node: ast.AST,
+                    held: frozenset[str], guards: dict[str, str],
+                    guard_methods: dict[str, str],
+                    where: str) -> Iterator[Violation]:
+        for attr in self._written_attrs(node):
+            guard = guards.get(attr)
+            if guard is not None and guard not in held:
+                yield self.violation(
+                    module, node,
+                    f"{where}() writes self.{attr} (declared "
+                    f"`# guard: {guard}`) without holding "
+                    f"self.{guard}")
+        if isinstance(node, ast.Call):
+            callee = _self_attr(node.func)
+            guard = guard_methods.get(callee or "")
+            if guard is not None and guard not in held:
+                yield self.violation(
+                    module, node,
+                    f"{where}() calls self.{callee}() — declared "
+                    f"@guarded_by({guard!r}) — without holding "
+                    f"self.{guard}")
+
+    def _written_attrs(self, node: ast.AST) -> Iterator[str]:
+        targets: list[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        elif isinstance(node, ast.Call):
+            callee = node.func
+            if (isinstance(callee, ast.Attribute)
+                    and callee.attr in self._MUTATORS):
+                attr = _self_attr(callee.value)
+                if attr is not None:
+                    yield attr
+            return
+        for target in targets:
+            yield from self._target_attrs(target)
+
+    def _target_attrs(self, target: ast.AST) -> Iterator[str]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._target_attrs(element)
+            return
+        if isinstance(target, (ast.Subscript, ast.Starred)):
+            yield from self._target_attrs(target.value)
+            return
+        attr = _self_attr(target)
+        if attr is not None:
+            yield attr
+
+
+class _ConditionWaitOutsideLoop(LintRule):
+    """``Condition.wait`` can wake spuriously, and a predicate checked
+    once with ``if`` is stale by the time the waiter reacquires the
+    lock.  Every bare ``.wait()`` on a condition must sit inside a
+    ``while not predicate:`` loop; ``wait_for`` embeds the loop and is
+    always fine."""
+
+    id = "RA115"
+    name = "condition-wait-outside-loop"
+    hint = ("re-check the predicate in a loop: `while not pred: "
+            "cond.wait()` — or use cond.wait_for(pred), which loops "
+            "internally")
+
+    _COND_NAME = re.compile(r"(^|_)cond(ition)?s?$")
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if any(module.in_package(p) for p in _WRAPPER_PACKAGES):
+            return
+        for func in _functions(module.tree):
+            yield from self._scan(module, func, in_while=False)
+
+    def _scan(self, module: SourceModule, node: ast.AST,
+              in_while: bool) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue  # nested defs get their own pass
+            inner = in_while or isinstance(child, ast.While)
+            if (not in_while and isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr == "wait"
+                    and self._COND_NAME.search(
+                        _receiver_name(child.func.value))):
+                yield self.violation(
+                    module, child,
+                    f"{_receiver_name(child.func.value)}.wait() outside "
+                    f"a while-predicate loop — spurious or stolen "
+                    f"wakeups make the condition stale")
+            yield from self._scan(module, child, inner)
+
+
+class _BlockingCallUnderLock(LintRule):
+    """Every instruction executed while a lock is held extends every
+    other thread's critical-section wait.  Sleeps, file I/O, joins,
+    un-timed queue ops, waits on *other* primitives, and model forward
+    passes are unbounded — holding a lock across them turns contention
+    into starvation (or deadlock, for foreign waits)."""
+
+    id = "RA116"
+    name = "blocking-call-under-lock"
+    hint = ("move the blocking call outside the critical section: "
+            "snapshot the state you need under the lock, release, "
+            "then block")
+
+    _MODEL_NAMES = frozenset(
+        {"classifier", "model", "backbone", "encoder", "network"})
+    _QUEUE_NAME = re.compile(r"queue|(^|_)q$", re.IGNORECASE)
+    _THREAD_NAME = re.compile(r"thread|worker|proc", re.IGNORECASE)
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if any(module.in_package(p) for p in _WRAPPER_PACKAGES):
+            return
+        for func in _functions(module.tree):
+            yield from self._scan(module, func, frozenset())
+
+    def _scan(self, module: SourceModule, node: ast.AST,
+              held: frozenset[str]) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            inner_held = held
+            if isinstance(child, ast.With):
+                inner_held = held | set(_with_locks(child))
+            elif isinstance(child, ast.Call) and held:
+                reason = self._blocking_reason(child, held)
+                if reason is not None:
+                    yield self.violation(
+                        module, child,
+                        f"{reason} while holding "
+                        f"{', '.join(sorted(held))} — every waiter on "
+                        f"the lock stalls behind it")
+            yield from self._scan(module, child, inner_held)
+
+    def _blocking_reason(self, call: ast.Call,
+                         held: frozenset[str]) -> str | None:
+        callee = call.func
+        if isinstance(callee, ast.Name):
+            if callee.id == "open":
+                return "file I/O (open())"
+            if callee.id in self._MODEL_NAMES:
+                return f"model forward ({callee.id}())"
+            return None
+        if not isinstance(callee, ast.Attribute):
+            return None
+        attr = callee.attr
+        receiver = _receiver_name(callee.value)
+        if attr == "sleep":
+            return f"{receiver or 'time'}.sleep()"
+        if attr == "forward" or attr in self._MODEL_NAMES:
+            return f"model forward (.{attr}())"
+        if attr == "join" and self._THREAD_NAME.search(receiver):
+            return f"thread join ({receiver}.join())"
+        if attr in ("get", "put") \
+                and self._QUEUE_NAME.search(receiver) \
+                and not self._has_timeout(call):
+            return f"un-timed queue op ({receiver}.{attr}())"
+        if attr == "result":
+            return f"future wait ({receiver}.result())"
+        if attr in ("wait", "wait_for") and receiver not in held:
+            return (f"wait on {receiver or '<expr>'} (which is not the "
+                    f"held lock, so it does not release it)")
+        return None
+
+    @staticmethod
+    def _has_timeout(call: ast.Call) -> bool:
+        if len(call.args) >= 2:
+            return True
+        return any(kw.arg == "timeout" for kw in call.keywords)
+
+
+class _ManualAcquireRelease(LintRule):
+    """Bare ``lock.acquire()`` / ``lock.release()`` pairs leak the lock
+    whenever the code between them raises; ``with`` releases on every
+    exit path and makes the critical section's extent obvious."""
+
+    id = "RA117"
+    name = "manual-acquire-release"
+    hint = ("replace the acquire/release pair with `with lock:` (use "
+            "try/finally only when the acquisition spans scopes, and "
+            "say why in a comment)")
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if any(module.in_package(p) for p in _WRAPPER_PACKAGES):
+            return
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("acquire", "release")):
+                continue
+            receiver = _receiver_name(node.func.value)
+            if _is_lock_name(receiver):
+                yield self.violation(
+                    module, node,
+                    f"manual {receiver}.{node.func.attr}() — an "
+                    f"exception between acquire and release leaks the "
+                    f"lock")
+
+
+CONCURRENCY_RULES: tuple[LintRule, ...] = (
+    _LockOrderInversion(),
+    _UnguardedStateWrite(),
+    _ConditionWaitOutsideLoop(),
+    _BlockingCallUnderLock(),
+    _ManualAcquireRelease(),
+)

@@ -1,0 +1,221 @@
+"""Race scenarios behind ``repro races``: one injected bug, three clean.
+
+Each scenario runs real code under the :class:`RaceDetector` and
+reports what the lockset/lock-order algorithms found:
+
+* ``fixture`` — the *injected* race: two writers do an unlocked
+  read-modify-write on a shared balance with a checkpoint between the
+  read and the write, scheduled by a seeded
+  :class:`~repro.analysis.concurrency.schedule.ScheduleExplorer`.  The
+  detector must report it for **every** seed (the lockset verdict does
+  not depend on the interleaving), and the schedule trace for one seed
+  is bit-stable across runs.
+* ``serve`` — a full :class:`~repro.serve.MatchService` round trip on
+  a :class:`~repro.serve.VirtualClock` with producers and workers
+  sharing the queue; must come out clean.
+* ``perf-cache`` — four threads hammering one
+  :class:`~repro.perf.cache.LRUCache`; must come out clean.
+* ``obs-registry`` — writer threads racing the labeled-metric
+  get-or-create path and a reader snapshotting concurrently; must come
+  out clean.
+
+The heavy imports happen inside the scenario functions so ``repro
+races --scenario fixture`` does not pay for the serving stack.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ...utils.concurrency import access, checkpoint
+from .lockset import RaceDetector
+from .schedule import ScheduleExplorer
+
+__all__ = ["SCENARIO_NAMES", "run_scenario", "run_races"]
+
+
+class _RacyTally:
+    """The injected bug: an unlocked read-modify-write on ``balance``.
+
+    The checkpoint between the read and the write is where the seeded
+    scheduler interleaves the second writer, making the lost update
+    (and the lockset report) reproducible.
+    """
+
+    def __init__(self):
+        self.balance = 0
+
+    def deposit(self) -> None:
+        access(self, "balance", write=False)
+        current = self.balance
+        checkpoint("between-read-and-write")
+        access(self, "balance", write=True)
+        self.balance = current + 1
+
+
+def _deposit_loop(tally: _RacyTally, times: int) -> None:
+    for _ in range(times):
+        tally.deposit()
+        checkpoint("after-deposit")
+
+
+def _fixture_scenario(seed: int) -> dict:
+    deposits_per_thread = 3
+    with RaceDetector() as detector:
+        tally = _RacyTally()
+        explorer = ScheduleExplorer(seed=seed, max_steps=500)
+        result = explorer.run({
+            "w0": lambda: _deposit_loop(tally, deposits_per_thread),
+            "w1": lambda: _deposit_loop(tally, deposits_per_thread),
+        })
+    expected = 2 * deposits_per_thread
+    return {
+        "expect_race": True,
+        "races": [r.describe() for r in detector.reports],
+        "detail": {
+            "expected_balance": expected,
+            "final_balance": tally.balance,
+            "lost_updates": expected - tally.balance,
+            "schedule_steps": len(result.steps),
+            "schedule_trace": result.trace(),
+            "completed": result.completed,
+        },
+    }
+
+
+def _drain(service, clock, tickets, rounds: int = 400) -> None:
+    """Drive a VirtualClock service until every ticket resolves."""
+    for _ in range(rounds):
+        clock.settle(lambda: service.settled, timeout=30.0)
+        if all(ticket.done() for ticket in tickets):
+            return
+        deadline = clock.next_deadline()
+        if deadline is None:
+            clock.advance(0.001)
+        else:
+            clock.advance(max(deadline - clock.now(), 0.0))
+
+
+def _serve_scenario(seed: int) -> dict:
+    from ...obs import MetricsRegistry
+    from ...serve import (CallableBackend, MatchService, ServeConfig,
+                          VirtualClock)
+    del seed  # the lockset verdict is schedule-independent
+    with RaceDetector() as detector:
+        clock = VirtualClock()
+        registry = MetricsRegistry()
+        config = ServeConfig(max_batch_size=4, max_wait_ms=5.0,
+                             num_workers=2, trace_sample_rate=0.0)
+        service = MatchService(
+            CallableBackend(lambda a, b: 0.9 if a == b else 0.1),
+            config, clock=clock, registry=registry)
+        with service:
+            tickets = [service.submit(f"rec-{i % 3}", f"rec-{i % 4}")
+                       for i in range(24)]
+            _drain(service, clock, tickets)
+            outcomes = [ticket.result(timeout=10.0)
+                        for ticket in tickets]
+    return {
+        "expect_race": False,
+        "races": [r.describe() for r in detector.reports],
+        "detail": {"completed_requests": len(outcomes),
+                   "matched": sum(o.matched for o in outcomes)},
+    }
+
+
+def _perf_cache_scenario(seed: int) -> dict:
+    from ...perf.cache import LRUCache
+    del seed
+    with RaceDetector() as detector:
+        cache = LRUCache(maxsize=64)
+
+        def hammer(base: int) -> None:
+            for i in range(300):
+                key = (base * 37 + i) % 96
+                if cache.get(key) is None:
+                    cache.put(key, key * 2)
+
+        threads = [threading.Thread(target=hammer, args=(i,),
+                                    name=f"cache-{i}")
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        rate = cache.hit_rate
+    return {
+        "expect_race": False,
+        "races": [r.describe() for r in detector.reports],
+        "detail": {"entries": len(cache), "hit_rate": round(rate, 4),
+                   "evictions": cache.evictions},
+    }
+
+
+def _obs_registry_scenario(seed: int) -> dict:
+    from ...obs import MetricsRegistry
+    del seed
+    with RaceDetector() as detector:
+        registry = MetricsRegistry()
+
+        def write(worker: int) -> None:
+            for i in range(200):
+                registry.counter("races.ops",
+                                 labels={"w": str(worker % 2)}).inc()
+                registry.histogram("races.latency").observe(i * 1e-4)
+
+        def read() -> None:
+            for _ in range(50):
+                registry.snapshot()
+
+        threads = [threading.Thread(target=write, args=(i,),
+                                    name=f"reg-w{i}") for i in range(3)]
+        threads.append(threading.Thread(target=read, name="reg-reader"))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = registry.snapshot()
+    total = sum(s["value"] for name, s in snapshot.items()
+                if s["kind"] == "counter")
+    return {
+        "expect_race": False,
+        "races": [r.describe() for r in detector.reports],
+        "detail": {"series": len(snapshot), "counted_ops": total},
+    }
+
+
+_SCENARIOS = {
+    "fixture": _fixture_scenario,
+    "serve": _serve_scenario,
+    "perf-cache": _perf_cache_scenario,
+    "obs-registry": _obs_registry_scenario,
+}
+
+SCENARIO_NAMES: tuple[str, ...] = tuple(_SCENARIOS)
+
+
+def run_scenario(name: str, seed: int = 7) -> dict:
+    """Run one scenario; ``passed`` means the detector's verdict
+    matched the scenario's expectation (race found for the fixture,
+    clean for the production paths)."""
+    try:
+        fn = _SCENARIOS[name]
+    except KeyError:
+        raise ValueError(f"unknown scenario {name!r} "
+                         f"(choose from {', '.join(SCENARIO_NAMES)})") \
+            from None
+    out = fn(seed)
+    out["name"] = name
+    out["seed"] = seed
+    out["passed"] = bool(out["races"]) == out["expect_race"]
+    return out
+
+
+def run_races(seed: int = 7, scenarios=None) -> dict:
+    """Run the requested scenarios (default: all); the report's
+    ``passed`` is the conjunction."""
+    names = list(scenarios) if scenarios else list(SCENARIO_NAMES)
+    results = [run_scenario(name, seed=seed) for name in names]
+    return {"seed": seed,
+            "passed": all(r["passed"] for r in results),
+            "scenarios": {r["name"]: r for r in results}}

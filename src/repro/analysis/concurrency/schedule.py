@@ -1,0 +1,234 @@
+"""Deterministic schedule exploration over instrumented yield points.
+
+Concurrency bugs hide in interleavings the OS scheduler rarely picks.
+:class:`ScheduleExplorer` takes the scheduling decision away from the
+OS: worker functions run on real threads, but every
+:func:`repro.utils.concurrency.checkpoint` call parks the thread on a
+gate, and a seeded ``random.Random`` picks which parked thread runs
+next — exactly one thread executes at a time.  Because thread code
+between checkpoints is deterministic, the *entire run* is a pure
+function of the seed: the same seed replays the same interleaving
+(and the same bug) every time, and sweeping seeds explores different
+interleavings.
+
+Traced locks (:mod:`.lockset`) cooperate: under an active explorer,
+contended acquisition becomes try-acquire + yield, so lock hand-offs
+are scheduled too, and a state where every live thread is parked on an
+unacquirable lock is reported as a deadlock instead of hanging the
+test suite.
+
+The explorer is for *checkpoint-instrumented* code — fixtures and unit
+scenarios with explicit yield points.  Free-running systems (a full
+:class:`~repro.serve.MatchService`) are exercised under the
+:class:`~repro.analysis.concurrency.lockset.RaceDetector` alone, whose
+lockset verdicts do not depend on the interleaving.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+
+from ...utils import concurrency as hooks
+
+__all__ = ["ScheduleResult", "ScheduleExplorer"]
+
+#: Retries every blocked thread must accumulate, with no global
+#: progress in between, before the all-blocked state counts as a
+#: deadlock rather than an unlucky pick.
+_DEADLOCK_RETRIES = 2
+
+
+class _Abort(BaseException):
+    """Unwinds worker threads when the controller gives up.
+
+    BaseException so scenario code's ``except Exception`` cannot
+    swallow it; ``with lock:`` blocks still release on the way out.
+    """
+
+
+@dataclass
+class _ThreadState:
+    name: str
+    gate: threading.Event = field(default_factory=threading.Event)
+    parked: bool = False
+    done: bool = False
+    label: str = ""
+    blocked_on: str | None = None
+    retries: int = 0
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one seeded exploration run."""
+
+    seed: int
+    #: ``(thread name, checkpoint label)`` per scheduling decision.
+    steps: list[tuple[str, str]]
+    completed: bool          #: every thread ran to completion
+    deadlocked: bool         #: all live threads blocked on locks
+    blocked: dict[str, str]  #: thread -> lock label at deadlock
+    errors: list[str]        #: exceptions raised inside workers
+
+    def trace(self) -> str:
+        """Canonical one-line schedule, for determinism comparisons."""
+        return " ".join(f"{name}@{label}" for name, label in self.steps)
+
+
+class ScheduleExplorer:
+    """Seeded cooperative scheduler over checkpoint yield points.
+
+    ::
+
+        explorer = ScheduleExplorer(seed=7)
+        result = explorer.run({"a": fn_a, "b": fn_b})
+
+    ``run`` installs itself as the global checkpoint hook for the
+    duration (one explorer at a time), so only use it around code whose
+    checkpoints you mean to schedule.  ``clock``/``quantum`` optionally
+    advance a :class:`~repro.serve.clock.VirtualClock` by ``quantum``
+    simulated seconds after every scheduling step, letting timer-driven
+    code progress under exploration.
+    """
+
+    def __init__(self, seed: int = 0, max_steps: int = 10_000,
+                 clock=None, quantum: float = 0.0):
+        if max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {max_steps}")
+        self.seed = seed
+        self.max_steps = max_steps
+        self.clock = clock
+        self.quantum = quantum
+        self._cond = threading.Condition()
+        self._states: list[_ThreadState] = []
+        self._by_ident: dict[int, _ThreadState] = {}
+        self._aborted = False
+
+    # -- checkpoint-hook protocol (repro.utils.concurrency) ------------------
+
+    def on_checkpoint(self, label: str) -> None:
+        state = self._by_ident.get(threading.get_ident())
+        if state is None:
+            return  # a thread we are not scheduling
+        self._park(state, label, blocked_on=None)
+
+    def on_blocked(self, resource: str) -> None:
+        state = self._by_ident.get(threading.get_ident())
+        if state is None:
+            return
+        state.retries += 1
+        self._park(state, f"blocked:{resource}", blocked_on=resource)
+
+    # -- the run -------------------------------------------------------------
+
+    def run(self, workers) -> ScheduleResult:
+        """Execute ``workers`` (a ``{name: fn}`` mapping or a list of
+        zero-argument callables) under seeded scheduling."""
+        if isinstance(workers, dict):
+            named = sorted(workers.items())
+        else:
+            named = [(f"t{i}", fn) for i, fn in enumerate(workers)]
+        if not named:
+            return ScheduleResult(seed=self.seed, steps=[],
+                                  completed=True, deadlocked=False,
+                                  blocked={}, errors=[])
+        self._states = [_ThreadState(name=name) for name, _fn in named]
+        self._by_ident = {}
+        self._aborted = False
+        errors: list[str] = []
+        hooks.set_checkpoint_hook(self)
+        threads = []
+        try:
+            for state, (_name, fn) in zip(self._states, named):
+                thread = threading.Thread(
+                    target=self._runner, args=(state, fn, errors),
+                    name=f"sched-{state.name}", daemon=True)
+                threads.append(thread)
+                thread.start()
+            return self._control(errors)
+        finally:
+            with self._cond:
+                self._aborted = True
+                for state in self._states:
+                    state.gate.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            hooks.set_checkpoint_hook(None)
+            self._by_ident = {}
+
+    def _runner(self, state: _ThreadState, fn, errors: list[str]) -> None:
+        with self._cond:
+            self._by_ident[threading.get_ident()] = state
+        try:
+            self._park(state, "start", blocked_on=None)
+            fn()
+        except _Abort:
+            pass
+        except Exception as exc:  # noqa: BLE001 — a worker's failure is
+            # data for the result, not a controller crash.
+            errors.append(f"{state.name}: {type(exc).__name__}: {exc}")
+        finally:
+            with self._cond:
+                state.done = True
+                state.parked = False
+                # Completion releases the thread's locks on unwind, so
+                # it is global progress: a survivor blocked on one of
+                # those locks must get fresh retries, not a stale
+                # deadlock verdict.
+                for other in self._states:
+                    other.retries = 0
+                self._cond.notify_all()
+
+    def _park(self, state: _ThreadState, label: str,
+              blocked_on: str | None) -> None:
+        with self._cond:
+            state.label = label
+            state.blocked_on = blocked_on
+            if blocked_on is None:
+                # Reaching a real checkpoint is global progress: reset
+                # everyone's starvation counters.
+                for other in self._states:
+                    other.retries = 0
+            state.parked = True
+            self._cond.notify_all()
+        state.gate.wait()
+        state.gate.clear()
+        if self._aborted:
+            raise _Abort
+
+
+    def _control(self, errors: list[str]) -> ScheduleResult:
+        rng = random.Random(self.seed)
+        steps: list[tuple[str, str]] = []
+        completed = False
+        deadlocked = False
+        blocked: dict[str, str] = {}
+        while True:
+            with self._cond:
+                self._cond.wait_for(
+                    lambda: all(st.parked or st.done
+                                for st in self._states))
+                alive = [st for st in self._states if not st.done]
+                if not alive:
+                    completed = True
+                    break
+                if len(steps) >= self.max_steps:
+                    break
+                if (all(st.blocked_on is not None for st in alive)
+                        and all(st.retries >= _DEADLOCK_RETRIES
+                                for st in alive)):
+                    deadlocked = True
+                    blocked = {st.name: st.blocked_on for st in alive}
+                    break
+                choice = rng.choice(alive)
+                steps.append((choice.name, choice.label))
+                choice.parked = False
+                choice.gate.set()
+                self._cond.wait_for(
+                    lambda st=choice: st.parked or st.done)
+            if self.clock is not None and self.quantum > 0:
+                self.clock.advance(self.quantum)
+        return ScheduleResult(seed=self.seed, steps=steps,
+                              completed=completed, deadlocked=deadlocked,
+                              blocked=blocked, errors=list(errors))

@@ -37,7 +37,24 @@ RA112  span-without-context-manager   lexically scoped spans/stages opened in
                                       ``repro.serve``/``repro.matching``
                                       without ``with`` — an exception between
                                       open and close leaks the span
+RA113  lock-order-inversion           two code paths of one class acquiring
+                                      the same locks in opposite orders
+                                      (deadlock cycle in the per-class
+                                      acquisition graph)
+RA114  unguarded-state-write          writes to ``# guard:``-annotated shared
+                                      state outside ``with self.<lock>:`` and
+                                      without ``@guarded_by``
+RA115  condition-wait-outside-loop    ``cond.wait()`` not wrapped in a
+                                      ``while``-predicate loop
+RA116  blocking-call-under-lock       sleeps / file I/O / joins / un-timed
+                                      queue ops / model forwards executed
+                                      while holding a lock
+RA117  manual-acquire-release         bare ``.acquire()``/``.release()``
+                                      instead of ``with`` (leaks on raise)
 ====== ============================== ==========================================
+
+(RA113–RA117 live in :mod:`repro.analysis.concurrency.rules` and are
+registered into the catalog below.)
 
 Usage::
 
@@ -841,6 +858,11 @@ class _SpanWithoutContextManager(LintRule):
         return scoped
 
 
+# Imported at the bottom of the class definitions on purpose: the
+# concurrency rules subclass LintRule, so this module must have defined
+# it (and SourceModule/Violation) before .concurrency.rules loads.
+from .concurrency.rules import CONCURRENCY_RULES  # noqa: E402
+
 _RULES: tuple[LintRule, ...] = (
     _TensorDataNumpyCall(),
     _HardCodedFloatDtype(),
@@ -854,7 +876,7 @@ _RULES: tuple[LintRule, ...] = (
     _ForwardOutsideNoGrad(),
     _BlockingSleepInServe(),
     _SpanWithoutContextManager(),
-)
+) + CONCURRENCY_RULES
 
 
 def available_rules() -> list[LintRule]:

@@ -29,9 +29,17 @@ Commands
     traces) from a ``/metrics`` endpoint (``--url``) or the
     deterministic virtual-clock demo (``--demo``).
 ``lint``
-    Run the repo-specific static analysis rules over source paths.
+    Run the repo-specific static analysis rules over source paths
+    (``--strict`` insists on the full catalog, concurrency rules
+    included).
 ``audit``
     Report gradcheck/test coverage of Tensor ops and Module subclasses.
+``races``
+    Run the seeded schedule-exploration race scenarios under the
+    runtime lockset detector; the ``fixture`` scenario must report its
+    injected race, the production scenarios must run clean.
+``check``
+    Umbrella gate: strict lint + strict audit + race scenarios.
 ``bench``
     Run a benchmark suite; ``bench perf`` measures serial vs. fast
     ``match_many`` throughput and writes ``BENCH_perf.json``;
@@ -51,6 +59,11 @@ from .data import benchmark_names, load_benchmark, save_dataset, \
 from .utils import child_rng
 
 __all__ = ["main", "build_parser"]
+
+
+def _scenario_names() -> tuple[str, ...]:
+    from .analysis.concurrency import SCENARIO_NAMES
+    return SCENARIO_NAMES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -156,6 +169,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rules", default=None,
                    help="comma-separated rule ids to run (e.g. "
                         "RA101,RA102); default: all")
+    p.add_argument("--strict", action="store_true",
+                   help="run the full rule catalog (incompatible with "
+                        "--rules); the repo-wide self-lint gate")
+
+    p = sub.add_parser("races",
+                       help="run the lockset race-detection scenarios "
+                            "under a seeded schedule explorer")
+    p.add_argument("--seed", type=int, default=7,
+                   help="schedule-exploration seed (default 7)")
+    p.add_argument("--scenario", choices=sorted(_scenario_names()),
+                   default=None,
+                   help="run one scenario instead of the whole suite")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+
+    p = sub.add_parser("check",
+                       help="umbrella gate: strict lint + strict audit "
+                            "+ race scenarios")
+    p.add_argument("--tests", default="tests",
+                   help="test-suite directory for the audit step")
+    p.add_argument("--seed", type=int, default=7,
+                   help="seed for the race scenarios")
 
     p = sub.add_parser("audit",
                        help="report test coverage of Tensor ops and "
@@ -387,6 +421,10 @@ def _cmd_obs(args) -> int:
 def _cmd_lint(args) -> int:
     from .analysis import available_rules, format_json, format_text, \
         lint_paths
+    if getattr(args, "strict", False) and args.rules:
+        print("error: --strict runs the full catalog; drop --rules",
+              file=sys.stderr)
+        return 2
     rules = None
     if args.rules:
         wanted = {r.strip().upper() for r in args.rules.split(",")}
@@ -400,6 +438,51 @@ def _cmd_lint(args) -> int:
     renderer = format_json if args.format == "json" else format_text
     print(renderer(violations))
     return 1 if violations else 0
+
+
+def _cmd_races(args) -> int:
+    import json
+    from .analysis.concurrency import run_races
+    names = [args.scenario] if args.scenario else None
+    result = run_races(seed=args.seed, scenarios=names)
+    if args.format == "json":
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        for name, entry in result["scenarios"].items():
+            status = "ok" if entry["passed"] else "FAIL"
+            expected = ("race expected"
+                        if entry["expect_race"] else "must run clean")
+            print(f"[{status}] {name} ({expected}; seed {result['seed']})")
+            for report in entry["races"]:
+                print(f"    {report}")
+    return 0 if result["passed"] else 1
+
+
+def _cmd_check(args) -> int:
+    """Umbrella gate: strict lint, strict audit, race scenarios."""
+    from pathlib import Path
+    failures = []
+    lint_args = argparse.Namespace(
+        paths=[str(Path(__file__).resolve().parent)], format="text",
+        rules=None, strict=True)
+    print("== lint --strict ==")
+    if _cmd_lint(lint_args):
+        failures.append("lint")
+    print("== audit --strict ==")
+    audit_args = argparse.Namespace(format="text", tests=args.tests,
+                                    strict=True)
+    if _cmd_audit(audit_args):
+        failures.append("audit")
+    print("== races ==")
+    races_args = argparse.Namespace(seed=args.seed, scenario=None,
+                                    format="text")
+    if _cmd_races(races_args):
+        failures.append("races")
+    if failures:
+        print(f"check failed: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("check passed: lint, audit, races")
+    return 0
 
 
 def _cmd_audit(args) -> int:
@@ -487,6 +570,8 @@ _COMMANDS = {
     "telemetry": _cmd_telemetry,
     "obs": _cmd_obs,
     "lint": _cmd_lint,
+    "races": _cmd_races,
+    "check": _cmd_check,
     "audit": _cmd_audit,
     "bench": _cmd_bench,
     "serve-bench": _cmd_bench,

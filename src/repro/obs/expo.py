@@ -102,8 +102,9 @@ def _histogram_lines(name: str, metric: Histogram) -> list[str]:
             labels["quantile"] = _format(q)
             lines.append(f"{name}{_labels(labels)} "
                          f"{_format(metric.quantile(q))}")
-    lines.append(f"{name}_sum{_labels(base)} {_format(metric.total)}")
-    lines.append(f"{name}_count{_labels(base)} {metric.count}")
+    total, count = metric.sum_count()
+    lines.append(f"{name}_sum{_labels(base)} {_format(total)}")
+    lines.append(f"{name}_count{_labels(base)} {count}")
     return lines
 
 
@@ -127,8 +128,10 @@ def render_prometheus(registry: MetricsRegistry) -> str:
             if isinstance(metric, Histogram):
                 lines.extend(_histogram_lines(name, metric))
             else:
+                # snapshot() reads under the metric's lock; a bare
+                # .value read races concurrent inc()/set() writers.
                 lines.append(f"{name}{_labels(metric.labels)} "
-                             f"{_format(metric.value)}")
+                             f"{_format(metric.snapshot()['value'])}")
     return "\n".join(lines) + "\n"
 
 

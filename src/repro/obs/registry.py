@@ -31,8 +31,9 @@ read-modify-write race that silently drops increments.
 from __future__ import annotations
 
 import bisect
-import threading
 from collections import deque
+
+from ..utils.concurrency import access, make_lock
 
 __all__ = ["CardinalityError", "Counter", "Gauge", "Histogram",
            "MetricsRegistry", "default_registry", "series_name",
@@ -64,6 +65,18 @@ def series_name(name: str, labels: dict | None) -> str:
     return f"{name}{{{rendered}}}"
 
 
+def _interpolate(ordered: list[float], q: float) -> float:
+    """q-quantile of a pre-sorted sample buffer (linear between order
+    statistics); 0.0 for an empty buffer."""
+    if not ordered:
+        return 0.0
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
 class Counter:
     """Monotonically increasing count."""
 
@@ -72,17 +85,20 @@ class Counter:
     def __init__(self, name: str, labels: dict | None = None):
         self.name = name
         self.labels = dict(labels) if labels else {}
-        self.value = 0.0
-        self._lock = threading.Lock()
+        self._lock = make_lock("Counter._lock")
+        self.value = 0.0  # guard: _lock
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a gauge")
         with self._lock:
+            access(self, "value")
             self.value += amount
 
     def snapshot(self) -> dict:
-        return {"kind": "counter", "value": self.value}
+        with self._lock:
+            access(self, "value", write=False)
+            return {"kind": "counter", "value": self.value}
 
 
 class Gauge:
@@ -93,19 +109,23 @@ class Gauge:
     def __init__(self, name: str, labels: dict | None = None):
         self.name = name
         self.labels = dict(labels) if labels else {}
-        self.value = 0.0
-        self._lock = threading.Lock()
+        self._lock = make_lock("Gauge._lock")
+        self.value = 0.0  # guard: _lock
 
     def set(self, value: float) -> None:
         with self._lock:
+            access(self, "value")
             self.value = float(value)
 
     def add(self, amount: float) -> None:
         with self._lock:
+            access(self, "value")
             self.value += amount
 
     def snapshot(self) -> dict:
-        return {"kind": "gauge", "value": self.value}
+        with self._lock:
+            access(self, "value", write=False)
+            return {"kind": "gauge", "value": self.value}
 
 
 class Histogram:
@@ -128,13 +148,14 @@ class Histogram:
             raise ValueError("max_samples must be >= 2")
         self.name = name
         self.labels = dict(labels) if labels else {}
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = float("-inf")
-        self._samples: list[float] = []
-        self._stride = 1
-        self._seen = 0
+        self._lock = make_lock("Histogram._lock")
+        self.count = 0                    # guard: _lock
+        self.total = 0.0                  # guard: _lock
+        self.min = float("inf")           # guard: _lock
+        self.max = float("-inf")          # guard: _lock
+        self._samples: list[float] = []   # guard: _lock
+        self._stride = 1                  # guard: _lock
+        self._seen = 0                    # guard: _lock
         self._max_samples = max_samples
         if buckets is not None:
             bounds = [float(b) for b in buckets]
@@ -147,12 +168,12 @@ class Histogram:
             self._bounds = None
         self._bucket_counts = ([0] * (len(self._bounds) + 1)
                                if self._bounds is not None else None)
-        self._exemplars: deque = deque(maxlen=5)
-        self._lock = threading.Lock()
+        self._exemplars: deque = deque(maxlen=5)  # guard: _lock
 
     def observe(self, value: float, exemplar: str | None = None) -> None:
         value = float(value)
         with self._lock:
+            access(self, "count")
             self.count += 1
             self.total += value
             self.min = min(self.min, value)
@@ -171,7 +192,8 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
         """Approximate q-quantile (exact until the buffer decimates)."""
@@ -179,13 +201,13 @@ class Histogram:
             raise ValueError("q must be in [0, 1]")
         with self._lock:
             ordered = sorted(self._samples)
-        if not ordered:
-            return 0.0
-        position = q * (len(ordered) - 1)
-        low = int(position)
-        high = min(low + 1, len(ordered) - 1)
-        fraction = position - low
-        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+        return _interpolate(ordered, q)
+
+    def sum_count(self) -> tuple[float, int]:
+        """Consistent ``(total, count)`` pair read under the lock —
+        the exposition path needs both from the same instant."""
+        with self._lock:
+            return self.total, self.count
 
     @property
     def p50(self) -> float:
@@ -244,11 +266,21 @@ class Histogram:
             return list(self._exemplars)
 
     def snapshot(self) -> dict:
-        if not self.count:
-            return {"kind": "histogram", "count": 0}
-        return {"kind": "histogram", "count": self.count,
-                "mean": self.mean, "min": self.min, "max": self.max,
-                "p50": self.p50, "p95": self.p95, "p99": self.p99}
+        # One locked copy of the whole state: mixing locked and
+        # unlocked reads (the old `self.p50` calls re-took the lock
+        # per quantile) lets concurrent observes tear the summary.
+        with self._lock:
+            access(self, "count", write=False)
+            if not self.count:
+                return {"kind": "histogram", "count": 0}
+            count, total = self.count, self.total
+            low, high = self.min, self.max
+            ordered = sorted(self._samples)
+        return {"kind": "histogram", "count": count,
+                "mean": total / count, "min": low, "max": high,
+                "p50": _interpolate(ordered, 0.50),
+                "p95": _interpolate(ordered, 0.95),
+                "p99": _interpolate(ordered, 0.99)}
 
 
 class MetricsRegistry:
@@ -264,13 +296,14 @@ class MetricsRegistry:
         if max_series_per_metric < 1:
             raise ValueError("max_series_per_metric must be >= 1")
         self.max_series_per_metric = max_series_per_metric
-        self._families: dict[str, dict[tuple, object]] = {}
-        self._kinds: dict[str, type] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("MetricsRegistry._lock")
+        self._families: dict[str, dict[tuple, object]] = {}  # guard: _lock
+        self._kinds: dict[str, type] = {}                    # guard: _lock
 
     def _get(self, name: str, cls, labels: dict | None = None, **kwargs):
         key = _label_key(labels)
         with self._lock:
+            access(self, "_families")
             kind = self._kinds.get(name)
             if kind is not None and kind is not cls:
                 raise TypeError(
@@ -307,6 +340,7 @@ class MetricsRegistry:
     def families(self) -> dict[str, list]:
         """``{family name: [series metric, ...]}`` sorted both ways."""
         with self._lock:
+            access(self, "_families", write=False)
             return {name: [family[key] for key in sorted(family)]
                     for name, family in sorted(self._families.items())}
 
@@ -332,6 +366,7 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         with self._lock:
+            access(self, "_families")
             self._families.clear()
             self._kinds.clear()
 

@@ -22,9 +22,10 @@ corrupts the recency list.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from hashlib import blake2b
+
+from ..utils.concurrency import access, make_rlock
 
 __all__ = ["LRUCache", "TokenizationCache", "ensure_token_cache"]
 
@@ -36,11 +37,11 @@ class LRUCache:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
-        self._entries: OrderedDict = OrderedDict()
-        self._lock = threading.RLock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._lock = make_rlock("LRUCache._lock")
+        self._entries: OrderedDict = OrderedDict()  # guard: _lock
+        self.hits = 0        # guard: _lock
+        self.misses = 0      # guard: _lock
+        self.evictions = 0   # guard: _lock
 
     def __len__(self) -> int:
         with self._lock:
@@ -53,35 +54,46 @@ class LRUCache:
     def get(self, key, default=None):
         """Look up ``key``, refreshing its recency on a hit."""
         with self._lock:
+            access(self, "_entries")
             try:
                 value = self._entries[key]
             except KeyError:
+                access(self, "misses")
                 self.misses += 1
                 return default
             self._entries.move_to_end(key)
+            access(self, "hits")
             self.hits += 1
             return value
 
     def put(self, key, value) -> bool:
         """Insert/refresh ``key``; True if an older entry was evicted."""
         with self._lock:
+            access(self, "_entries")
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = value
             if len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
+                access(self, "evictions")
                 self.evictions += 1
                 return True
             return False
 
     def clear(self) -> None:
         with self._lock:
+            access(self, "_entries")
             self._entries.clear()
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        # Under the (reentrant) lock: hits and misses move together,
+        # and an unlocked pair read can see a torn ratio mid-update.
+        with self._lock:
+            access(self, "hits", write=False)
+            access(self, "misses", write=False)
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
 
 def _content_key(text: str) -> bytes:

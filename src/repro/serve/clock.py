@@ -30,6 +30,8 @@ import itertools
 import threading
 import time
 
+from ..utils.concurrency import make_condition
+
 __all__ = ["Clock", "ClockCondition", "SystemClock", "VirtualClock"]
 
 
@@ -46,7 +48,11 @@ class ClockCondition:
 
     def __init__(self, clock: "Clock"):
         self._clock = clock
-        self._cond = threading.Condition()
+        # Through the factory: under an active RaceDetector the inner
+        # condition is a traced wrapper, so service lock acquisitions
+        # feed the lockset algorithm; normally it is a plain
+        # threading.Condition.
+        self._cond = make_condition("ClockCondition")
 
     def __enter__(self):
         self._cond.__enter__()
@@ -127,12 +133,12 @@ class VirtualClock(Clock):
     """
 
     def __init__(self, start: float = 0.0):
-        self._now = float(start)
         self._lock = threading.Lock()
+        self._now = float(start)  # guard: _lock
         self._sequence = itertools.count()
         #: Heap of (deadline, sequence, callback | None); a cancelled
         #: timer keeps its slot with callback=None (lazy deletion).
-        self._timers: list[list] = []
+        self._timers: list[list] = []  # guard: _lock
 
     def now(self) -> float:
         with self._lock:

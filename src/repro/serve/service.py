@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from ..obs import CallbackList, default_registry
 from ..obs.context import BatchStages, RequestTracer, TraceContext
 from ..obs.registry import LATENCY_BUCKETS
+from ..utils.concurrency import access, guarded_by
 from .clock import Clock, SystemClock
 
 __all__ = ["ServeConfig", "ServeError", "ServiceClosed",
@@ -246,11 +247,11 @@ class MatchService:
         self._chaos = chaos
         self._cb = CallbackList.resolve(callbacks, None)
         self._cond = self.clock.condition()
-        self._pending: deque[_Request] = deque()
-        self._inflight = 0
+        self._pending: deque[_Request] = deque()  # guard: _cond
+        self._inflight = 0                        # guard: _cond
         self._ids = itertools.count()
-        self._closed = False
-        self._workers: list[threading.Thread] = []
+        self._closed = False                      # guard: _cond
+        self._workers: list[threading.Thread] = []  # guard: _cond
         if tracer is None:
             tracer = RequestTracer(
                 clock=self.clock,
@@ -281,15 +282,22 @@ class MatchService:
 
     def start(self) -> "MatchService":
         """Spawn the worker pool (idempotent)."""
-        if self._closed:
-            raise ServiceClosed("cannot start a closed service")
-        if not self._workers:
-            for worker_id in range(self.config.num_workers):
-                thread = threading.Thread(
+        with self._cond:
+            if self._closed:
+                raise ServiceClosed("cannot start a closed service")
+            if self._workers:
+                return self
+            access(self, "_workers")
+            self._workers = [
+                threading.Thread(
                     target=self._worker_loop, daemon=True,
                     name=f"repro-serve-worker-{worker_id}")
-                thread.start()
-                self._workers.append(thread)
+                for worker_id in range(self.config.num_workers)]
+            workers = list(self._workers)
+        # Threads start outside the critical section: a worker's first
+        # act is taking the same condition.
+        for thread in workers:
+            thread.start()
         return self
 
     def close(self, drain: bool = True) -> None:
@@ -300,9 +308,12 @@ class MatchService:
         fail immediately with :class:`ServiceClosed`.
         """
         with self._cond:
+            access(self, "_closed")
             self._closed = True
+            workers = list(self._workers)
             abandoned: list[_Request] = []
-            if not drain or not self._workers:
+            if not drain or not workers:
+                access(self, "_pending")
                 abandoned = list(self._pending)
                 self._pending.clear()
                 self._queue_depth.set(0)
@@ -316,9 +327,13 @@ class MatchService:
                 self.tracer.end(request.wait_span, end=now)
                 self.tracer.finish(request.span, end=now,
                                    outcome="closed")
-        for thread in self._workers:
+        # Joins happen unlocked (a worker draining the queue needs the
+        # condition), but the list write goes back under it.
+        for thread in workers:
             thread.join()
-        self._workers = []
+        with self._cond:
+            access(self, "_workers")
+            self._workers = []
 
     def __enter__(self) -> "MatchService":
         return self.start()
@@ -331,12 +346,14 @@ class MatchService:
     @property
     def queue_depth(self) -> int:
         with self._cond:
+            access(self, "_pending", write=False)
             return len(self._pending)
 
     @property
     def inflight(self) -> int:
         """Batches currently being scored by workers."""
         with self._cond:
+            access(self, "_inflight", write=False)
             return self._inflight
 
     @property
@@ -352,6 +369,8 @@ class MatchService:
         """
         pending_timers = getattr(self.clock, "pending_timers", None)
         with self._cond:
+            access(self, "_inflight", write=False)
+            access(self, "_pending", write=False)
             if self._inflight:
                 return False
             if not self._pending:
@@ -359,11 +378,13 @@ class MatchService:
             return (pending_timers is not None and pending_timers() > 0
                     and len(self._pending) < self.config.max_batch_size)
 
+    @guarded_by("_cond")
     def _retry_after_locked(self) -> float:
         drains = math.ceil(len(self._pending)
                            / self.config.max_batch_size)
         return max(drains, 1) * self.config.max_wait_ms / 1000.0
 
+    @guarded_by("_cond")
     def _admit_locked(self, entity_a, entity_b,
                       timeout_ms: float | None) -> _Request:
         now = self.clock.now()
@@ -373,6 +394,7 @@ class MatchService:
             else now + timeout_ms / 1000.0
         request = _Request(next(self._ids), entity_a, entity_b, now,
                            deadline)
+        access(self, "_pending")
         self._pending.append(request)
         self._requests.inc()
         if self.tracer.sampled(request.id):
@@ -396,6 +418,7 @@ class MatchService:
         :class:`ServiceClosed` after :meth:`close`.
         """
         with self._cond:
+            access(self, "_closed", write=False)
             if self._closed:
                 raise ServiceClosed("service is closed to new requests")
             if len(self._pending) >= self.config.max_queue:
@@ -418,6 +441,7 @@ class MatchService:
         """
         pairs = list(pairs)
         with self._cond:
+            access(self, "_closed", write=False)
             if self._closed:
                 raise ServiceClosed("service is closed to new requests")
             if len(self._pending) + len(pairs) > self.config.max_queue:
@@ -442,6 +466,7 @@ class MatchService:
                 self._process(batch)
             finally:
                 with self._cond:
+                    access(self, "_inflight")
                     self._inflight -= 1
 
     def _next_batch(self) -> list[_Request] | None:
@@ -471,9 +496,11 @@ class MatchService:
                         continue  # another worker drained it
                     count = min(len(self._pending),
                                 config.max_batch_size)
+                    access(self, "_pending")
                     batch = [self._pending.popleft()
                              for _ in range(count)]
                     self._queue_depth.set(len(self._pending))
+                    access(self, "_inflight")
                     self._inflight += 1
                     return batch
                 if self._closed:

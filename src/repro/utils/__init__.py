@@ -5,6 +5,7 @@ re-exported here for backwards compatibility.
 """
 
 from .atomic import atomic_write_bytes, atomic_write_text
+from .concurrency import access, checkpoint, guarded_by
 from .rng import child_rng, get_rng_state, set_rng_state, spawn_seeds
 # render must be imported before timer: timer pulls in repro.obs, whose
 # report module imports repro.utils.render while this package is still
@@ -14,4 +15,5 @@ from .timer import Timer, format_duration
 
 __all__ = ["child_rng", "spawn_seeds", "get_rng_state", "set_rng_state",
            "atomic_write_text", "atomic_write_bytes",
+           "guarded_by", "access", "checkpoint",
            "Timer", "format_duration", "format_table", "format_series"]

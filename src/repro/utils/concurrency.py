@@ -1,0 +1,182 @@
+"""Thread-safety contracts and opt-in concurrency instrumentation hooks.
+
+This module is the *zero-dependency* substrate shared by production code
+(``repro.serve``, ``repro.perf.cache``, ``repro.obs.registry``) and the
+race-detection tooling in :mod:`repro.analysis.concurrency`.  It has no
+imports beyond the stdlib, so any layer of the package may use it
+without creating an import cycle.
+
+Three facilities live here:
+
+* **Contracts** — :func:`guarded_by` declares, on a method, which lock
+  attribute must be held when the method runs.  Together with trailing
+  ``# guard: <lock>`` comments on ``__init__`` attribute assignments it
+  forms the annotation convention checked statically by lint rule
+  RA114 and dynamically by the lockset detector.
+* **Hot-path hooks** — :func:`access` (a shared-state read/write) and
+  :func:`checkpoint` (a scheduling yield point) compile down to a
+  single module-global ``None`` check when no tool is attached, the
+  same zero-overhead pattern as ``repro.analysis.sanitize``.
+* **Lock factories** — :func:`make_lock` / :func:`make_rlock` /
+  :func:`make_condition` return plain :mod:`threading` primitives
+  normally, but hand back instrumented wrappers while a detector is
+  installed, so objects *created inside* a detector context are traced
+  without their modules importing the detector.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "guarded_by",
+    "access",
+    "checkpoint",
+    "blocked",
+    "make_lock",
+    "make_rlock",
+    "make_condition",
+    "set_access_hook",
+    "set_checkpoint_hook",
+    "set_lock_factory",
+    "access_hook",
+    "checkpoint_hook",
+    "lock_factory",
+]
+
+# Module-global hook slots.  ``None`` means "inactive"; the hot-path
+# helpers below are then a single attribute load + comparison.
+_ACCESS_HOOK: Optional[Callable[[Any, str, bool], None]] = None
+_CHECKPOINT_HOOK: Optional[Any] = None
+_LOCK_FACTORY: Optional[Any] = None
+_HOOK_LOCK = threading.Lock()
+
+
+def guarded_by(lock_attr: str) -> Callable:
+    """Declare that a method must run with ``self.<lock_attr>`` held.
+
+    The decorator is purely declarative: it tags the function with
+    ``__guarded_by__`` and returns it unchanged (zero runtime cost).
+    Lint rule RA114 reads the tag to exempt ``*_locked`` helper methods
+    whose callers take the lock, and the lockset detector folds the
+    declared guard into its reports.
+
+    >>> class Queue:
+    ...     @guarded_by("_lock")
+    ...     def _pop_locked(self): ...
+    """
+    def decorate(fn: Callable) -> Callable:
+        fn.__guarded_by__ = lock_attr.removeprefix("self.")
+        return fn
+    return decorate
+
+
+def access(owner: Any, attr: str, write: bool = True) -> None:
+    """Report a shared-state access to the active detector, if any.
+
+    Call this *inside* the guarded region, next to the read or write of
+    ``owner.<attr>`` it describes.  With no detector installed the call
+    is one global load and a ``None`` test.
+    """
+    hook = _ACCESS_HOOK
+    if hook is not None:
+        hook(owner, attr, write)
+
+
+def checkpoint(label: str = "yield") -> None:
+    """A cooperative scheduling point for the schedule explorer.
+
+    Threads registered with an active explorer park here until the
+    seeded scheduler picks them to run; everyone else falls straight
+    through.
+    """
+    hook = _CHECKPOINT_HOOK
+    if hook is not None:
+        hook.on_checkpoint(label)
+
+
+def blocked(resource: str) -> bool:
+    """Tell the active explorer this thread failed to acquire ``resource``.
+
+    Returns ``True`` if an explorer handled the block (caller should
+    retry the non-blocking acquire), ``False`` when no explorer is
+    active (caller should fall back to a real blocking acquire).
+    """
+    hook = _CHECKPOINT_HOOK
+    if hook is None:
+        return False
+    hook.on_blocked(resource)
+    return True
+
+
+def make_lock(label: str = "lock") -> Any:
+    """A ``threading.Lock`` — instrumented while a detector is active."""
+    factory = _LOCK_FACTORY
+    if factory is None:
+        return threading.Lock()
+    return factory.make_lock(label)
+
+
+def make_rlock(label: str = "rlock") -> Any:
+    """A ``threading.RLock`` — instrumented while a detector is active."""
+    factory = _LOCK_FACTORY
+    if factory is None:
+        return threading.RLock()
+    return factory.make_rlock(label)
+
+
+def make_condition(label: str = "cond", lock: Any = None) -> Any:
+    """A ``threading.Condition`` — instrumented while a detector is
+    active.  ``lock`` is passed through when given."""
+    factory = _LOCK_FACTORY
+    if factory is None:
+        return threading.Condition(lock) if lock is not None \
+            else threading.Condition()
+    return factory.make_condition(label, lock)
+
+
+def set_access_hook(hook) -> None:
+    """Install (or with ``None`` remove) the global access hook.
+
+    Only one hook may be active at a time — installing over a live hook
+    raises, mirroring ``detect_anomalies``'s single-active rule.
+    """
+    global _ACCESS_HOOK
+    with _HOOK_LOCK:
+        if hook is not None and _ACCESS_HOOK is not None:
+            raise RuntimeError("an access hook is already installed")
+        _ACCESS_HOOK = hook
+
+
+def set_checkpoint_hook(hook) -> None:
+    """Install (or with ``None`` remove) the global checkpoint hook."""
+    global _CHECKPOINT_HOOK
+    with _HOOK_LOCK:
+        if hook is not None and _CHECKPOINT_HOOK is not None:
+            raise RuntimeError("a checkpoint hook is already installed")
+        _CHECKPOINT_HOOK = hook
+
+
+def set_lock_factory(factory) -> None:
+    """Install (or with ``None`` remove) the global lock factory."""
+    global _LOCK_FACTORY
+    with _HOOK_LOCK:
+        if factory is not None and _LOCK_FACTORY is not None:
+            raise RuntimeError("a lock factory is already installed")
+        _LOCK_FACTORY = factory
+
+
+def access_hook():
+    """The currently installed access hook (``None`` when inactive)."""
+    return _ACCESS_HOOK
+
+
+def checkpoint_hook():
+    """The currently installed checkpoint hook (``None`` when inactive)."""
+    return _CHECKPOINT_HOOK
+
+
+def lock_factory():
+    """The currently installed lock factory (``None`` when inactive)."""
+    return _LOCK_FACTORY

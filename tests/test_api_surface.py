@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.obs",
     "repro.utils",
     "repro.analysis",
+    "repro.analysis.concurrency",
     "repro.resilience",
     "repro.perf",
     "repro.serve",
