@@ -1,0 +1,142 @@
+"""Resilient serving — availability under chaos, overhead without it.
+
+Injects the same seeded chaos schedule (worker kills, slow forwards,
+poisoned forwards) into a naive single :class:`repro.serve.MatchService`
+client and into the three-replica fault-tolerance tier
+(:class:`repro.serve.ResilientClient` — retries with seeded backoff,
+per-replica circuit breakers, hedged requests, load shedding, and the
+self-healing :class:`repro.serve.ReplicaSet` supervisor), both at 1x
+the measured serial offered load.
+
+Acceptance (enforced on full runs, recorded in
+``BENCH_resilient.json`` at the repo root): the resilient tier
+sustains >= 99.9% non-error completion while the naive client
+measurably does not (< 99%), and with chaos off the tier's throughput
+overhead over the bare service stays <= 2%.  ``--smoke`` runs a few
+requests only to validate plumbing and the report schema.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.serve import (run_resilient_benchmark,
+                         validate_resilient_report,
+                         write_resilient_report)
+from repro.serve.bench_resilient import (AVAILABILITY_FLOOR,
+                                         NAIVE_CEILING,
+                                         OVERHEAD_BUDGET)
+
+from _shared import emit, run_once
+
+REPORT_PATH = Path(__file__).parent.parent / "BENCH_resilient.json"
+
+
+def _format_report(report: dict) -> str:
+    config = report["config"]
+    baseline = report["baseline"]
+    overhead = report["overhead"]
+    chaos = report["chaos"]
+    lines = [f"resilient serving tier ({config['arch']}, "
+             f"{config['pairs']} pairs, {config['num_requests']} "
+             f"requests, batch size {config['batch_size']}"
+             f"{', smoke' if report['smoke'] else ''})",
+             f"  serial baseline: {baseline['pairs_per_sec']:8.1f} "
+             f"pairs/s",
+             f"  chaos-off overhead: "
+             f"{overhead['overhead_fraction'] * 100.0:6.2f}% "
+             f"(budget {OVERHEAD_BUDGET * 100.0:.0f}%)"]
+    for side in ("naive", "resilient"):
+        stats = chaos[side]
+        lines.append(
+            f"  {side:<9} under chaos: "
+            f"{stats['completed']}/{stats['offered']} done "
+            f"({stats['availability'] * 100.0:6.2f}% avail, "
+            f"{stats['rejected']} rejected, "
+            f"{stats['timeouts']} timed out, "
+            f"{stats['errors']} errors, "
+            f"p95 {stats['p95_latency_ms']:7.1f} ms)")
+    lines.append(f"  recovery: {chaos['respawns']} respawn(s), "
+                 f"{chaos['retries']} retries spent")
+    acc = report["acceptance"]
+    lines.append(f"  acceptance: overhead "
+                 f"{acc['overhead_fraction']:.3f} <= "
+                 f"{acc['overhead_budget']}, resilient "
+                 f"{acc['resilient_availability']:.4f} >= "
+                 f"{acc['availability_floor']}, naive "
+                 f"{acc['naive_availability']:.4f} < "
+                 f"{acc['naive_ceiling']} -> "
+                 f"{'pass' if acc['passed'] else 'FAIL'}"
+                 f"{'' if acc['enforced'] else ' (not enforced: smoke)'}")
+    return "\n".join(lines)
+
+
+def _run(smoke: bool, pairs: int, requests: int, write,
+         arch: str = "bert", zoo_dir=None) -> dict:
+    if zoo_dir is not None:
+        report = run_resilient_benchmark(arch=arch, num_pairs=pairs,
+                                         num_requests=requests,
+                                         smoke=smoke, zoo_dir=zoo_dir)
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            report = run_resilient_benchmark(arch=arch, num_pairs=pairs,
+                                             num_requests=requests,
+                                             smoke=smoke,
+                                             zoo_dir=Path(tmp) / "zoo")
+    problems = validate_resilient_report(report)
+    if problems:
+        raise AssertionError(f"invalid BENCH_resilient report: "
+                             f"{problems}")
+    if write:
+        write_resilient_report(report,
+                               write if write is not True
+                               else REPORT_PATH)
+    return report
+
+
+def test_resilient_availability(benchmark):
+    report = run_once(benchmark, lambda: _run(smoke=False, pairs=200,
+                                              requests=1000,
+                                              write=True))
+    emit("resilient", _format_report(report))
+    acc = report["acceptance"]
+    assert acc["resilient_availability"] >= AVAILABILITY_FLOOR
+    assert acc["naive_availability"] < NAIVE_CEILING
+    assert acc["overhead_fraction"] <= OVERHEAD_BUDGET
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fault-tolerance tier vs. naive client under "
+                    "seeded chaos")
+    parser.add_argument("--smoke", action="store_true",
+                        help="few requests, schema check only (CI)")
+    parser.add_argument("--pairs", type=int, default=200)
+    parser.add_argument("--requests", type=int, default=1000)
+    parser.add_argument("--arch", default="bert",
+                        choices=["bert", "roberta", "distilbert",
+                                 "xlnet"])
+    parser.add_argument("--zoo-dir", default=None,
+                        help="model-zoo cache directory (default: a "
+                             "throwaway temp dir)")
+    parser.add_argument("--output", default=None,
+                        help=f"report path (default: {REPORT_PATH})")
+    parser.add_argument("--no-write", dest="write", action="store_false",
+                        help="skip writing the report")
+    args = parser.parse_args(argv)
+    write = (args.output or True) if args.write else False
+    report = _run(smoke=args.smoke, pairs=args.pairs,
+                  requests=args.requests, write=write, arch=args.arch,
+                  zoo_dir=args.zoo_dir)
+    print(_format_report(report))
+    if args.write:
+        print(f"report written to {args.output or REPORT_PATH}")
+    acc = report["acceptance"]
+    return 0 if (acc["passed"] or not acc["enforced"]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,10 @@ RA116  blocking-call-under-lock       sleeps / file I/O / joins / un-timed
                                       while holding a lock
 RA117  manual-acquire-release         bare ``.acquire()``/``.release()``
                                       instead of ``with`` (leaks on raise)
+RA118  retry-without-backoff          loops that catch a serve error around a
+                                      ``submit`` call and retry with no
+                                      backoff/sleep — a tight retry loop
+                                      hammers an overloaded service
 ====== ============================== ==========================================
 
 (RA113–RA117 live in :mod:`repro.analysis.concurrency.rules` and are
@@ -858,6 +862,95 @@ class _SpanWithoutContextManager(LintRule):
         return scoped
 
 
+class _RetryWithoutBackoff(LintRule):
+    """A loop that catches a serve-stack error around a ``submit`` call
+    and goes straight back around is a tight retry loop: under
+    :class:`~repro.serve.service.ServiceOverloaded` it hammers exactly
+    the service that just asked it to back off, and under a
+    :class:`~repro.serve.clock.VirtualClock` it spins forever because
+    no timer ever advances.  Every retry must wait — via
+    :class:`~repro.serve.retry.RetryPolicy` backoff, a clock sleep, or
+    a timer — before resubmitting."""
+
+    id = "RA118"
+    name = "retry-without-backoff"
+    hint = ("back off between attempts: use repro.serve.RetryPolicy "
+            "(or ResilientClient), or at minimum clock.sleep(...) / "
+            "clock.call_later(...) with the delay from "
+            "ServiceOverloaded.retry_after")
+
+    _ERROR_NAMES = frozenset({
+        "ServeError", "ServiceOverloaded", "ServiceClosed",
+        "RequestTimeout", "RequestCancelled",
+    })
+    _SUBMIT_NAMES = frozenset({"submit", "submit_many"})
+    _BACKOFF_MARKERS = ("sleep", "backoff", "run_for", "advance",
+                        "call_later", "call_at", "wait", "settle")
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.While, ast.For)):
+                continue
+            handler = self._serve_handler(node)
+            if handler is None:
+                continue
+            if not self._calls_submit(node):
+                continue
+            if self._has_backoff(node):
+                continue
+            yield self.violation(
+                module, handler,
+                "retry loop catches a serve error and resubmits with "
+                "no backoff — a tight loop hammers the overloaded "
+                "service (and spins forever under a VirtualClock)")
+
+    def _serve_handler(self, loop: ast.AST) -> ast.ExceptHandler | None:
+        """First except handler inside the loop naming a serve error."""
+        for node in ast.walk(loop):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                continue
+            types = (node.type.elts
+                     if isinstance(node.type, ast.Tuple)
+                     else [node.type])
+            for type_node in types:
+                name = (type_node.attr
+                        if isinstance(type_node, ast.Attribute)
+                        else getattr(type_node, "id", ""))
+                if name in self._ERROR_NAMES:
+                    # A handler that immediately re-raises or returns
+                    # isn't retrying — the loop exits.
+                    if all(isinstance(stmt, (ast.Raise, ast.Return))
+                           for stmt in node.body):
+                        continue
+                    return node
+        return None
+
+    def _calls_submit(self, loop: ast.AST) -> bool:
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Call):
+                callee = node.func
+                name = (callee.attr
+                        if isinstance(callee, ast.Attribute)
+                        else getattr(callee, "id", ""))
+                if name in self._SUBMIT_NAMES:
+                    return True
+        return False
+
+    def _has_backoff(self, loop: ast.AST) -> bool:
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Call):
+                callee = node.func
+                name = (callee.attr
+                        if isinstance(callee, ast.Attribute)
+                        else getattr(callee, "id", ""))
+                if any(marker in name
+                       for marker in self._BACKOFF_MARKERS):
+                    return True
+        return False
+
+
 # Imported at the bottom of the class definitions on purpose: the
 # concurrency rules subclass LintRule, so this module must have defined
 # it (and SourceModule/Violation) before .concurrency.rules loads.
@@ -876,6 +969,7 @@ _RULES: tuple[LintRule, ...] = (
     _ForwardOutsideNoGrad(),
     _BlockingSleepInServe(),
     _SpanWithoutContextManager(),
+    _RetryWithoutBackoff(),
 ) + CONCURRENCY_RULES
 
 

@@ -44,7 +44,10 @@ Commands
     Run a benchmark suite; ``bench perf`` measures serial vs. fast
     ``match_many`` throughput and writes ``BENCH_perf.json``;
     ``bench serve`` replays seeded load through the micro-batching
-    match service and writes ``BENCH_serve.json``.
+    match service and writes ``BENCH_serve.json``;
+    ``bench resilient`` measures availability under seeded chaos
+    (naive client vs the fault-tolerance tier) and the tier's
+    chaos-off overhead, writing ``BENCH_resilient.json``.
 ``serve-bench``
     Shorthand for ``bench serve``.
 """
@@ -203,10 +206,13 @@ def build_parser() -> argparse.ArgumentParser:
     for name in ("bench", "serve-bench"):
         if name == "bench":
             p = sub.add_parser("bench", help="run a benchmark suite")
-            p.add_argument("suite", choices=["perf", "serve"],
+            p.add_argument("suite", choices=["perf", "serve", "resilient"],
                            help="perf: serial vs. fast match_many "
                                 "throughput; serve: micro-batching "
-                                "service throughput/latency under load")
+                                "service throughput/latency under load; "
+                                "resilient: availability under seeded "
+                                "chaos plus the fault-tolerance tier's "
+                                "chaos-off overhead")
         else:
             p = sub.add_parser(
                 "serve-bench",
@@ -226,6 +232,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--max-wait-ms", type=float, default=10.0,
                        help="serve suite: micro-batcher flush horizon "
                             "(default 10 ms)")
+        p.add_argument("--requests", type=int, default=1000,
+                       help="resilient suite: chaos-phase request count "
+                            "(default 1000)")
         p.add_argument("--output", default=None,
                        help="report path (default: BENCH_<suite>.json)")
         p.add_argument("--zoo-dir", default=None,
@@ -529,9 +538,58 @@ def _cmd_bench_serve(args) -> int:
     return 0
 
 
+def _cmd_bench_resilient(args) -> int:
+    from .serve import (run_resilient_benchmark, validate_resilient_report,
+                        write_resilient_report)
+    report = run_resilient_benchmark(arch=args.arch, num_pairs=args.pairs,
+                                     seed=args.seed, zoo_dir=args.zoo_dir,
+                                     batch_size=args.batch_size,
+                                     max_wait_ms=args.max_wait_ms,
+                                     num_requests=args.requests,
+                                     smoke=args.smoke)
+    problems = validate_resilient_report(report)
+    if problems:
+        for problem in problems:
+            print(f"error: invalid report: {problem}", file=sys.stderr)
+        return 2
+    path = write_resilient_report(report,
+                                  args.output or "BENCH_resilient.json")
+    overhead = report["overhead"]
+    chaos = report["chaos"]
+    print(f"chaos-off overhead: "
+          f"{overhead['overhead_fraction'] * 100.0:.2f}% "
+          f"(best of {overhead['cycles']} cycles, "
+          f"median {overhead['median_overhead_fraction'] * 100.0:+.2f}%, "
+          f"budget {overhead['budget'] * 100.0:.0f}%)")
+    for side in ("naive", "resilient"):
+        stats = chaos[side]
+        print(f"{side} under chaos: {stats['completed']}/{stats['offered']} "
+              f"completed ({stats['availability'] * 100.0:.2f}% "
+              f"availability, {stats['rejected']} rejected, "
+              f"{stats['timeouts']} timed out, {stats['errors']} errors)")
+    print(f"{chaos['respawns']} replica respawn(s), "
+          f"{chaos['retries']} retries spent")
+    acceptance = report["acceptance"]
+    print(f"report written to {path}")
+    if acceptance["enforced"] and not acceptance["passed"]:
+        print("error: resilience acceptance failed: "
+              f"overhead {acceptance['overhead_fraction']:.3f} "
+              f"(budget {acceptance['overhead_budget']}), "
+              f"resilient availability "
+              f"{acceptance['resilient_availability']:.4f} "
+              f"(floor {acceptance['availability_floor']}), "
+              f"naive availability {acceptance['naive_availability']:.4f} "
+              f"(must be < {acceptance['naive_ceiling']})",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args) -> int:
     if args.suite == "serve":
         return _cmd_bench_serve(args)
+    if args.suite == "resilient":
+        return _cmd_bench_resilient(args)
     from .perf import (SPEEDUP_THRESHOLD, run_perf_benchmark,
                        validate_report, write_report)
     report = run_perf_benchmark(num_pairs=args.pairs, seed=args.seed,

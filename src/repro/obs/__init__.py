@@ -43,7 +43,7 @@ from .context import (BatchStages, RequestTracer, StageSpan, TraceContext,
 from .expo import (MetricsHTTPServer, SpanExporter, parse_prometheus,
                    render_prometheus)
 from .slo import (FAST_BURN, SLOW_BURN, SLO, Alert, BurnWindow, SLOMonitor,
-                  default_serve_slos)
+                  default_resilient_slos, default_serve_slos)
 
 __all__ = [
     "Span", "Tracer", "trace", "default_tracer", "aggregate_spans",
@@ -61,5 +61,5 @@ __all__ = [
     "render_prometheus", "parse_prometheus", "MetricsHTTPServer",
     "SpanExporter",
     "BurnWindow", "FAST_BURN", "SLOW_BURN", "SLO", "Alert", "SLOMonitor",
-    "default_serve_slos",
+    "default_serve_slos", "default_resilient_slos",
 ]

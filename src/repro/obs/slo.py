@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from .registry import Histogram, MetricsRegistry
 
 __all__ = ["BurnWindow", "FAST_BURN", "SLOW_BURN", "SLO", "Alert",
-           "SLOMonitor", "default_serve_slos"]
+           "SLOMonitor", "default_serve_slos", "default_resilient_slos"]
 
 
 @dataclass(frozen=True)
@@ -303,5 +303,35 @@ def default_serve_slos(availability_objective: float = 0.99,
             histogram="serve.latency_seconds",
             threshold=latency_threshold,
             description=f"requests completing within "
+                        f"{latency_threshold * 1000:.0f} ms"),
+    ]
+
+
+def default_resilient_slos(availability_objective: float = 0.999,
+                           latency_objective: float = 0.95,
+                           latency_threshold: float = 0.5) -> list[SLO]:
+    """The stock objectives for :class:`repro.serve.ResilientClient`.
+
+    The tier's whole point is availability, so the objective is an
+    order stricter than the per-replica serve SLO: every client-visible
+    failure — error, deadline timeout, or shed request — burns budget,
+    while retried/hedged attempts that eventually complete do not.
+    Latency is end-to-end (submit to final completion, including
+    backoff and failover), so the threshold is looser than the
+    single-service one.
+    """
+    return [
+        SLO.availability(
+            "resilient-availability", availability_objective,
+            total="serve.client.requests",
+            errors=("serve.client.errors", "serve.client.timeouts",
+                    "serve.client.shed"),
+            description="client requests completing without error, "
+                        "deadline timeout, or shedding"),
+        SLO.latency(
+            "resilient-latency", latency_objective,
+            histogram="serve.client.latency_seconds",
+            threshold=latency_threshold,
+            description=f"client requests completing end-to-end within "
                         f"{latency_threshold * 1000:.0f} ms"),
     ]

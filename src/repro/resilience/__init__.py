@@ -27,7 +27,7 @@ Recovery actions surface as ``checkpoint``/``recovery`` telemetry events
 """
 
 from .chaos import ChaosConfig, ChaosMonkey, CrashInjected, \
-    corrupt_checkpoint
+    WorkerKilled, corrupt_checkpoint
 from .checkpoint import CheckpointManager
 from .config import ResilienceConfig
 from .fallback import MatchOutcome, fallback_probability
@@ -39,7 +39,8 @@ __all__ = [
     "ResilienceConfig",
     "CheckpointManager",
     "DivergenceGuard", "GuardConfig", "DivergenceError", "TrainingDiverged",
-    "ChaosMonkey", "ChaosConfig", "CrashInjected", "corrupt_checkpoint",
+    "ChaosMonkey", "ChaosConfig", "CrashInjected", "WorkerKilled",
+    "corrupt_checkpoint",
     "MatchOutcome", "fallback_probability",
     "pack_state", "unpack_state", "snapshot_prefixes",
 ]

@@ -17,7 +17,18 @@ step numbers so runs are reproducible:
   raises whenever a forward batch contains a poisoned request key,
   exercising the serving layer's batch-failure isolation: the batch
   retry must degrade *only* the poisoned requests to the similarity
-  fallback (``MatchOutcome.degraded``), never their batch neighbors.
+  fallback (``MatchOutcome.degraded``), never their batch neighbors;
+* **slow forwards** — :meth:`ChaosMonkey.maybe_delay_forward` returns a
+  latency to inject before a batch forward (pinned to request keys, or
+  drawn at a seeded rate), exercising the resilient tier's hedged
+  requests and attempt timeouts;
+* **worker death** — :meth:`ChaosMonkey.maybe_kill_worker` raises
+  :class:`WorkerKilled` after the batch ordinals in
+  ``kill_worker_batches``, abruptly ending one
+  :class:`~repro.serve.MatchService` worker thread (consecutive
+  ordinals take down a whole replica — a replica-wide outage) and
+  exercising the :class:`~repro.serve.ReplicaSet` health-probe /
+  respawn path.
 
 The harness only ever fires where a loop explicitly calls its hooks, so
 production runs (``chaos=None``) pay nothing.
@@ -30,7 +41,7 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["CrashInjected", "ChaosConfig", "ChaosMonkey",
+__all__ = ["CrashInjected", "WorkerKilled", "ChaosConfig", "ChaosMonkey",
            "corrupt_checkpoint"]
 
 
@@ -49,6 +60,23 @@ class CrashInjected(RuntimeError):
         self.step = step
 
 
+class WorkerKilled(RuntimeError):
+    """Raised by :meth:`ChaosMonkey.maybe_kill_worker` to end a serving
+    worker thread abruptly.
+
+    :class:`~repro.serve.MatchService` treats it like a real thread
+    death: the worker exits without draining, queued requests stall
+    until a supervisor (:class:`~repro.serve.ReplicaSet`) notices the
+    replica is unhealthy and respawns it.
+    """
+
+    def __init__(self, batch_index: int):
+        super().__init__(
+            f"chaos: worker killed after batch {batch_index} (simulated "
+            f"abrupt thread death; supervisor must respawn)")
+        self.batch_index = batch_index
+
+
 @dataclass
 class ChaosConfig:
     """Which faults to inject, pinned to global step numbers."""
@@ -61,6 +89,19 @@ class ChaosConfig:
     #: unlike the step-pinned faults these fire *every* time, so batch
     #: retries cannot quietly absorb them — degradation must happen).
     poison_forward_rows: frozenset[int] = field(default_factory=frozenset)
+    #: Request keys whose batch forward is delayed (slow-forward fault;
+    #: fires every time the key appears, like ``poison_forward_rows``).
+    delay_forward_rows: frozenset[int] = field(default_factory=frozenset)
+    #: Injected latency, clock seconds, per slow forward.
+    delay_forward_seconds: float = 0.0
+    #: Probability a batch forward is delayed regardless of keys
+    #: (seeded draw per forward; for load benchmarks — key-pinned rows
+    #: are the deterministic-test knob).
+    delay_forward_rate: float = 0.0
+    #: Batch ordinals (per-monkey counter, starting at 1) after which
+    #: the worker that processed the batch dies with
+    #: :class:`WorkerKilled`.  Consecutive ordinals kill a whole pool.
+    kill_worker_batches: frozenset[int] = field(default_factory=frozenset)
     #: Seed for choosing which parameter/elements to poison.
     seed: int = 0
 
@@ -69,6 +110,16 @@ class ChaosConfig:
         self.crash_steps = frozenset(int(s) for s in self.crash_steps)
         self.poison_forward_rows = frozenset(
             int(r) for r in self.poison_forward_rows)
+        self.delay_forward_rows = frozenset(
+            int(r) for r in self.delay_forward_rows)
+        self.kill_worker_batches = frozenset(
+            int(b) for b in self.kill_worker_batches)
+        if self.delay_forward_seconds < 0:
+            raise ValueError(f"delay_forward_seconds must be >= 0, got "
+                             f"{self.delay_forward_seconds}")
+        if not 0.0 <= self.delay_forward_rate <= 1.0:
+            raise ValueError(f"delay_forward_rate must be in [0, 1], "
+                             f"got {self.delay_forward_rate}")
 
 
 class ChaosMonkey:
@@ -84,6 +135,8 @@ class ChaosMonkey:
         self._rng = np.random.default_rng(self.config.seed)
         self._fired_nan: set[int] = set()
         self._fired_crash: set[int] = set()
+        self._fired_kill: set[int] = set()
+        self._batches_processed = 0
 
     def poison_gradients(self, step: int, parameters) -> bool:
         """NaN-poison one parameter's gradient if ``step`` is targeted."""
@@ -119,6 +172,42 @@ class ChaosMonkey:
             raise RuntimeError(
                 f"chaos: poisoned forward for request(s) "
                 f"{sorted(poisoned)} (injected inference fault)")
+
+    def maybe_delay_forward(self, keys) -> float:
+        """Latency (clock seconds) to inject before this batch forward.
+
+        Returns ``delay_forward_seconds`` when the batch contains a
+        pinned key from ``delay_forward_rows`` (deterministic, fires
+        every occurrence) or when the seeded per-forward draw lands
+        under ``delay_forward_rate``; 0.0 otherwise.  The caller (the
+        service worker) performs the sleep on *its* clock, so under a
+        :class:`~repro.serve.VirtualClock` the injected latency is
+        simulated, not real.
+        """
+        config = self.config
+        if config.delay_forward_seconds <= 0.0:
+            return 0.0
+        if config.delay_forward_rows.intersection(int(k) for k in keys):
+            return config.delay_forward_seconds
+        if config.delay_forward_rate > 0.0 \
+                and self._rng.random() < config.delay_forward_rate:
+            return config.delay_forward_seconds
+        return 0.0
+
+    def maybe_kill_worker(self) -> None:
+        """Raise :class:`WorkerKilled` if this batch ordinal is targeted.
+
+        Called by a service worker after finishing each batch; the
+        monkey counts batches across its lifetime (1-based), and each
+        configured ordinal fires at most once — so a respawned replica
+        sharing the monkey is not instantly re-killed.
+        """
+        self._batches_processed += 1
+        index = self._batches_processed
+        if index in self.config.kill_worker_batches \
+                and index not in self._fired_kill:
+            self._fired_kill.add(index)
+            raise WorkerKilled(index)
 
 
 def corrupt_checkpoint(path: str | Path, seed: int = 0,

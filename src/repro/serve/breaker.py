@@ -1,0 +1,219 @@
+"""Per-replica circuit breaker: closed → open → half-open.
+
+A replica that keeps failing (dead workers, poisoned model, chaos
+outage) should stop receiving traffic *before* every request pays its
+timeout.  Each :class:`~repro.serve.MatchService` replica gets one
+:class:`CircuitBreaker`; the :class:`~repro.serve.ReplicaSet` router
+consults :meth:`CircuitBreaker.allow` when picking a replica and
+reports every attempt outcome back via :meth:`record_success` /
+:meth:`record_failure`.
+
+State machine (DESIGN.md §15)::
+
+    closed ──(failure rate ≥ threshold over window,
+              volume ≥ min_volume)──▶ open
+    open ──(cooldown elapsed, next allow())──▶ half_open
+    half_open ──(close_after successes)──▶ closed
+    half_open ──(any failure)──▶ open        (cooldown restarts)
+
+All timing runs on the injected :class:`~repro.serve.Clock`, so under a
+:class:`~repro.serve.VirtualClock` the cooldown and the sliding
+failure-rate window are exactly reproducible.  The ``transitions``
+audit trail records ``(state, clock time)`` for every change — the
+property-test suite uses it to prove a breaker never reaches
+``half_open`` before ``cooldown_seconds`` of open time elapsed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..utils.concurrency import guarded_by, make_lock
+from .clock import Clock
+
+__all__ = ["BreakerConfig", "CircuitBreaker"]
+
+#: Gauge encoding of breaker state for ``serve.breaker.state``.
+_STATE_CODES = {"closed": 0, "open": 1, "half_open": 2}
+
+
+@dataclass
+class BreakerConfig:
+    """Trip/recovery knobs for :class:`CircuitBreaker`."""
+
+    #: Sliding window (clock seconds) over which the failure rate is
+    #: computed; outcomes older than this are pruned.
+    window_seconds: float = 30.0
+    #: Minimum outcomes inside the window before the breaker may trip —
+    #: one unlucky failure on a cold replica must not open it.
+    min_volume: int = 8
+    #: Failure fraction (0..1] at or above which a closed breaker opens.
+    failure_threshold: float = 0.5
+    #: Open dwell time before the first half-open probe is admitted.
+    cooldown_seconds: float = 5.0
+    #: Concurrent probe requests admitted while half-open.
+    half_open_probes: int = 1
+    #: Consecutive half-open successes required to close again.
+    close_after: int = 2
+
+    def __post_init__(self):
+        if self.window_seconds <= 0:
+            raise ValueError(f"window_seconds must be > 0, got "
+                             f"{self.window_seconds}")
+        if self.min_volume < 1:
+            raise ValueError(f"min_volume must be >= 1, got "
+                             f"{self.min_volume}")
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ValueError(f"failure_threshold must be in (0, 1], got "
+                             f"{self.failure_threshold}")
+        if self.cooldown_seconds < 0:
+            raise ValueError(f"cooldown_seconds must be >= 0, got "
+                             f"{self.cooldown_seconds}")
+        if self.half_open_probes < 1:
+            raise ValueError(f"half_open_probes must be >= 1, got "
+                             f"{self.half_open_probes}")
+        if self.close_after < 1:
+            raise ValueError(f"close_after must be >= 1, got "
+                             f"{self.close_after}")
+
+
+class CircuitBreaker:
+    """Failure-rate breaker for one replica, timed by a :class:`Clock`.
+
+    Thread-safe; all three routing-path methods (:meth:`allow`,
+    :meth:`record_success`, :meth:`record_failure`) are lock-cheap and
+    never block on the clock.
+    """
+
+    def __init__(self, name: str, config: BreakerConfig | None = None,
+                 clock: Clock | None = None, registry=None):
+        from .clock import SystemClock
+        self.name = str(name)
+        self.config = config or BreakerConfig()
+        self.clock = clock or SystemClock()
+        self._lock = make_lock(f"CircuitBreaker[{self.name}]._lock")
+        self._state = "closed"        # guard: _lock
+        self._opened_at = 0.0         # guard: _lock
+        self._window: deque = deque()  # guard: _lock — (ts, ok) pairs
+        self._probes_inflight = 0     # guard: _lock
+        self._half_open_successes = 0  # guard: _lock
+        #: Audit trail of (state, clock time); starts with the initial
+        #: closed state so tests can assert on dwell times.
+        self.transitions: list[tuple[str, float]] = [
+            ("closed", self.clock.now())]  # guard: _lock
+        if registry is not None:
+            labels = {"replica": self.name}
+            self._state_gauge = registry.gauge("serve.breaker.state",
+                                               labels=labels)
+            self._transitions_counter = registry.counter(
+                "serve.breaker.transitions", labels=labels)
+            self._short_circuited = registry.counter(
+                "serve.breaker.short_circuited", labels=labels)
+            self._state_gauge.set(0)
+        else:
+            self._state_gauge = None
+            self._transitions_counter = None
+            self._short_circuited = None
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @guarded_by("_lock")
+    def _set_state_locked(self, state: str, now: float) -> None:
+        if state == self._state:
+            return
+        self._state = state
+        self.transitions.append((state, now))
+        if state == "open":
+            self._opened_at = now
+        if state in ("open", "half_open"):
+            self._probes_inflight = 0
+            self._half_open_successes = 0
+        if state == "closed":
+            self._window.clear()
+        if self._state_gauge is not None:
+            self._state_gauge.set(_STATE_CODES[state])
+            self._transitions_counter.inc()
+
+    @guarded_by("_lock")
+    def _prune_locked(self, now: float) -> None:
+        horizon = now - self.config.window_seconds
+        while self._window and self._window[0][0] < horizon:
+            self._window.popleft()
+
+    def allow(self) -> bool:
+        """May a request be routed to this replica right now?
+
+        Closed: always.  Open: no — unless ``cooldown_seconds`` have
+        elapsed, in which case the breaker moves to half-open and this
+        call claims the first probe slot.  Half-open: only while probe
+        slots (``half_open_probes`` minus in-flight probes) remain.
+        """
+        now = self.clock.now()
+        with self._lock:
+            if self._state == "open":
+                if now - self._opened_at >= self.config.cooldown_seconds:
+                    self._set_state_locked("half_open", now)
+                else:
+                    if self._short_circuited is not None:
+                        self._short_circuited.inc()
+                    return False
+            if self._state == "half_open":
+                if self._probes_inflight >= self.config.half_open_probes:
+                    if self._short_circuited is not None:
+                        self._short_circuited.inc()
+                    return False
+                self._probes_inflight += 1
+                return True
+            return True
+
+    def record_success(self) -> None:
+        """An attempt routed to this replica completed."""
+        now = self.clock.now()
+        with self._lock:
+            if self._state == "half_open":
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+                self._half_open_successes += 1
+                if self._half_open_successes >= self.config.close_after:
+                    self._set_state_locked("closed", now)
+                return
+            self._window.append((now, True))
+            self._prune_locked(now)
+
+    def record_failure(self) -> None:
+        """An attempt routed to this replica failed or timed out."""
+        now = self.clock.now()
+        with self._lock:
+            if self._state == "half_open":
+                # A failed probe reopens immediately; cooldown restarts.
+                self._set_state_locked("open", now)
+                return
+            if self._state == "open":
+                return
+            self._window.append((now, False))
+            self._prune_locked(now)
+            if len(self._window) < self.config.min_volume:
+                return
+            failures = sum(1 for _, ok in self._window if not ok)
+            if failures / len(self._window) \
+                    >= self.config.failure_threshold:
+                self._set_state_locked("open", now)
+
+    def release(self) -> None:
+        """Return an :meth:`allow`-claimed half-open probe slot without
+        recording an outcome (the routed attempt was abandoned before
+        it was ever submitted — e.g. its flight completed on another
+        replica between routing and submission)."""
+        with self._lock:
+            if self._state == "half_open":
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+
+    def reset(self) -> None:
+        """Force-close (used after a supervisor respawns the replica —
+        the new process shares the old breaker identity but none of its
+        failure history)."""
+        with self._lock:
+            self._set_state_locked("closed", self.clock.now())

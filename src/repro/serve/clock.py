@@ -73,7 +73,7 @@ class ClockCondition:
 
 
 class Clock:
-    """Interface: monotonic time, sleeping, and waitable conditions."""
+    """Interface: monotonic time, sleeping, timers, and conditions."""
 
     def now(self) -> float:
         """Monotonic seconds."""
@@ -81,6 +81,19 @@ class Clock:
 
     def sleep(self, seconds: float) -> None:
         """Block the calling thread for ``seconds`` of clock time."""
+        raise NotImplementedError
+
+    def call_later(self, delay: float, callback):
+        """Schedule ``callback()`` to fire after ``delay`` clock seconds
+        without blocking the caller; returns a handle accepted by
+        :meth:`cancel`.  The resilient tier runs on these timers
+        (backoff, hedges, attempt timeouts, health probes), so both
+        clocks must implement them.
+        """
+        raise NotImplementedError
+
+    def cancel(self, handle) -> None:
+        """Deactivate a timer returned by :meth:`call_later`."""
         raise NotImplementedError
 
     def condition(self) -> ClockCondition:
@@ -107,7 +120,18 @@ class SystemClock(Clock):
     This class is the single sanctioned blocking-sleep site in the
     serving stack (RA111 exempts it); every other module must take a
     ``Clock`` so the virtual implementation can substitute.
+
+    Timers (:meth:`call_later`) share one lazily started daemon thread
+    per clock instance — a heap-ordered timer wheel, not a
+    thread-per-timer ``threading.Timer``, so the resilient tier can arm
+    one timeout per attempt without spawning a thread per request.
     """
+
+    def __init__(self):
+        self._timer_cond = threading.Condition()
+        self._timers: list[list] = []   # guard: _timer_cond
+        self._sequence = itertools.count()
+        self._timer_thread: threading.Thread | None = None
 
     def now(self) -> float:
         return time.monotonic()
@@ -115,6 +139,60 @@ class SystemClock(Clock):
     def sleep(self, seconds: float) -> None:
         if seconds > 0:
             time.sleep(seconds)
+
+    def call_later(self, delay: float, callback) -> list:
+        entry = [self.now() + max(float(delay), 0.0),
+                 next(self._sequence), callback]
+        with self._timer_cond:
+            heapq.heappush(self._timers, entry)
+            # The wheel thread never exits its loop (callbacks that
+            # raise are swallowed), so one None check replaces a
+            # per-call Thread.is_alive poll on the hot path.
+            if self._timer_thread is None:
+                self._timer_thread = threading.Thread(
+                    target=self._timer_loop, daemon=True,
+                    name="repro-serve-timer")
+                self._timer_thread.start()
+            # Wake the wheel only when the new timer preempts the
+            # deadline it is sleeping toward.  The common case — one
+            # fixed-delay attempt timeout per request, registered in
+            # arrival order — pushes monotonically later deadlines, and
+            # an unconditional notify would context-switch the timer
+            # thread on every request.  Pushing behind a stale
+            # (cancelled) head costs at most one spurious wake at the
+            # stale deadline.
+            if self._timers[0] is entry:
+                self._timer_cond.notify_all()
+        return entry
+
+    def cancel(self, handle: list) -> None:
+        with self._timer_cond:
+            handle[2] = None
+
+    def _timer_loop(self) -> None:
+        while True:
+            fire = None
+            with self._timer_cond:
+                while fire is None:
+                    while self._timers and self._timers[0][2] is None:
+                        heapq.heappop(self._timers)
+                    if not self._timers:
+                        self._timer_cond.wait()
+                        continue
+                    delay = self._timers[0][0] - self.now()
+                    if delay <= 0:
+                        fire = heapq.heappop(self._timers)
+                    else:
+                        self._timer_cond.wait(delay)
+            callback = fire[2]
+            if callback is None:
+                continue
+            try:
+                callback()
+            except Exception:  # noqa: BLE001 — a raising timer callback
+                # must not kill the shared wheel; callbacks own their
+                # error handling.
+                pass
 
     def _wait_for(self, cond: threading.Condition, predicate,
                   timeout: float) -> bool:
@@ -166,6 +244,11 @@ class VirtualClock(Clock):
             entry = [float(deadline), next(self._sequence), callback]
             heapq.heappush(self._timers, entry)
             return entry
+
+    def call_later(self, delay: float, callback) -> list:
+        """:meth:`call_at` relative to now (the :class:`Clock` timer
+        interface shared with :class:`SystemClock`)."""
+        return self.call_at(self.now() + max(float(delay), 0.0), callback)
 
     def cancel(self, handle: list) -> None:
         """Deactivate a timer registered with :meth:`call_at`."""

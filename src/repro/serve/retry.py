@@ -1,0 +1,195 @@
+"""Retry policy: seeded exponential backoff, budgets, deadlines.
+
+The resilient tier never retries blindly.  Three mechanisms bound the
+amplification a retry storm could otherwise inflict on an overloaded
+service:
+
+* **Backoff schedule** — delay before attempt ``k+1`` grows
+  geometrically (``base * multiplier**(k-1)``, capped at
+  ``max_delay_ms``) with *seeded* jitter: the jitter draw is keyed by
+  ``(seed, request_id, attempt)`` through
+  :func:`repro.utils.child_rng`, so two runs of the same workload
+  produce bit-identical schedules regardless of thread timing, yet
+  different requests decorrelate (no thundering herd).
+* **Retry budget** — a deterministic token account: retries are allowed
+  while ``retries <= max(min_retries, budget_ratio * requests)``.
+  When the budget is dry the caller fails fast instead of doubling the
+  offered load on a service that is already drowning.
+* **Deadline propagation** — a retry whose backoff would land past the
+  logical request deadline is pointless; :meth:`RetryPolicy.backoff`
+  reports the delay and the caller checks it against the remaining
+  deadline before scheduling.
+
+``ServiceOverloaded.retry_after`` (the service's own drain estimate) is
+honored as a *lower bound* on the computed backoff — the service knows
+its backlog better than any client-side schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils import child_rng
+from ..utils.concurrency import make_lock
+from .service import RequestCancelled, ServeError
+
+__all__ = ["RetryConfig", "RetryBudget", "RetryPolicy"]
+
+
+@dataclass
+class RetryConfig:
+    """Backoff schedule and budget knobs for :class:`RetryPolicy`.
+
+    ``max_attempts`` counts the first try: 3 means at most two retries.
+    ``jitter`` is the relative half-width of the jitter envelope — a
+    delay of ``d`` becomes ``d * (1 + jitter * u)`` with ``u`` uniform
+    in ``[-1, 1)``.  ``budget_ratio`` / ``min_retries`` parameterise
+    the :class:`RetryBudget` (a ratio of 0.2 means at most one retry
+    per five logical requests, once past the ``min_retries`` floor).
+    """
+
+    max_attempts: int = 3
+    base_delay_ms: float = 10.0
+    multiplier: float = 2.0
+    max_delay_ms: float = 1000.0
+    jitter: float = 0.5
+    budget_ratio: float = 0.2
+    min_retries: int = 4
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got "
+                             f"{self.max_attempts}")
+        if self.base_delay_ms < 0:
+            raise ValueError(f"base_delay_ms must be >= 0, got "
+                             f"{self.base_delay_ms}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got "
+                             f"{self.multiplier}")
+        if self.max_delay_ms < self.base_delay_ms:
+            raise ValueError(f"max_delay_ms ({self.max_delay_ms}) must "
+                             f"be >= base_delay_ms "
+                             f"({self.base_delay_ms})")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got "
+                             f"{self.jitter}")
+        if self.budget_ratio < 0:
+            raise ValueError(f"budget_ratio must be >= 0, got "
+                             f"{self.budget_ratio}")
+        if self.min_retries < 0:
+            raise ValueError(f"min_retries must be >= 0, got "
+                             f"{self.min_retries}")
+
+
+class RetryBudget:
+    """Deterministic retry accounting shared across a client's requests.
+
+    Pure counter arithmetic — no clocks, no decay — so the same
+    admission sequence always produces the same allow/deny decisions,
+    which is what makes chaos-recovery tests bit-reproducible.
+    """
+
+    def __init__(self, ratio: float, min_retries: int):
+        self.ratio = float(ratio)
+        self.min_retries = int(min_retries)
+        self._lock = make_lock("RetryBudget._lock")
+        self._requests = 0  # guard: _lock
+        self._retries = 0   # guard: _lock
+
+    @property
+    def requests(self) -> int:
+        with self._lock:
+            return self._requests
+
+    @property
+    def retries(self) -> int:
+        with self._lock:
+            return self._retries
+
+    @property
+    def allowance(self) -> int:
+        """Retries permitted so far, given the requests seen."""
+        with self._lock:
+            return self._allowance_locked()
+
+    def _allowance_locked(self) -> int:
+        return max(self.min_retries, int(self.ratio * self._requests))
+
+    def note_request(self) -> None:
+        """Record one logical (first-attempt) request."""
+        with self._lock:
+            self._requests += 1
+
+    def try_spend(self) -> bool:
+        """Consume one retry token; False when the budget is dry."""
+        with self._lock:
+            if self._retries + 1 > self._allowance_locked():
+                return False
+            self._retries += 1
+            return True
+
+
+class RetryPolicy:
+    """Computes deterministic backoff schedules and owns the budget.
+
+    Attempts are numbered from 1 (the first try);
+    ``backoff(request_id, attempt)`` is the delay to wait *after*
+    attempt ``attempt`` fails, before launching attempt
+    ``attempt + 1``.
+    """
+
+    def __init__(self, config: RetryConfig | None = None, **kwargs):
+        self.config = config or RetryConfig(**kwargs)
+        self.budget = RetryBudget(self.config.budget_ratio,
+                                  self.config.min_retries)
+
+    def base_delay(self, attempt: int) -> float:
+        """Unjittered backoff after ``attempt``, in seconds.
+
+        Monotone non-decreasing in ``attempt`` and capped at
+        ``max_delay_ms`` — the properties the hypothesis suite pins.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt numbering starts at 1, got "
+                             f"{attempt}")
+        config = self.config
+        delay_ms = min(config.base_delay_ms
+                       * config.multiplier ** (attempt - 1),
+                       config.max_delay_ms)
+        return delay_ms / 1000.0
+
+    def backoff(self, request_id: int, attempt: int,
+                retry_after: float | None = None) -> float:
+        """Jittered backoff after ``attempt`` of ``request_id`` fails.
+
+        Deterministic: the jitter draw is keyed by
+        ``(seed, request_id, attempt)``, so identical seeds produce
+        identical schedules.  A server-supplied ``retry_after`` hint
+        (from :class:`~repro.serve.ServiceOverloaded`) acts as a lower
+        bound — never retry sooner than the service said its backlog
+        needs.
+        """
+        base = self.base_delay(attempt)
+        jitter = self.config.jitter
+        if jitter > 0.0:
+            draw = child_rng(self.config.seed, "retry-backoff",
+                             int(request_id), int(attempt)).random()
+            base *= 1.0 + jitter * (2.0 * draw - 1.0)
+        if retry_after is not None:
+            base = max(base, float(retry_after))
+        return max(base, 0.0)
+
+    def schedule(self, request_id: int) -> list[float]:
+        """The full backoff schedule for one request (for tests/docs):
+        delays after attempts ``1 .. max_attempts - 1``."""
+        return [self.backoff(request_id, attempt)
+                for attempt in range(1, self.config.max_attempts)]
+
+    @staticmethod
+    def retryable(error: Exception | None) -> bool:
+        """Typed serving failures are retryable; cancellations are not
+        (a cancelled attempt was withdrawn on purpose), and foreign
+        exceptions signal bugs, not transient faults."""
+        return isinstance(error, ServeError) \
+            and not isinstance(error, RequestCancelled)

@@ -43,12 +43,13 @@ from dataclasses import dataclass
 from ..obs import CallbackList, default_registry
 from ..obs.context import BatchStages, RequestTracer, TraceContext
 from ..obs.registry import LATENCY_BUCKETS
+from ..resilience.chaos import WorkerKilled
 from ..utils.concurrency import access, guarded_by
 from .clock import Clock, SystemClock
 
 __all__ = ["ServeConfig", "ServeError", "ServiceClosed",
-           "ServiceOverloaded", "RequestTimeout", "MatchTicket",
-           "MatchService"]
+           "ServiceOverloaded", "RequestTimeout", "RequestCancelled",
+           "MatchTicket", "MatchService"]
 
 
 @dataclass
@@ -135,6 +136,16 @@ class RequestTimeout(ServeError):
         self.waited = waited
 
 
+class RequestCancelled(ServeError):
+    """A still-queued request was withdrawn via
+    :meth:`MatchService.cancel` (e.g. a hedged duplicate whose twin
+    finished first)."""
+
+    def __init__(self, request_id: int):
+        super().__init__(f"request {request_id} cancelled while queued")
+        self.request_id = request_id
+
+
 class MatchTicket:
     """Per-request future returned by :meth:`MatchService.submit`.
 
@@ -151,15 +162,50 @@ class MatchTicket:
         self.submitted_at = submitted_at
         self.completed_at: float | None = None
         self.trace_id: str | None = None
-        self._event = threading.Event()
+        # Written under _cb_lock; read lock-free (a bool flip is a
+        # valid snapshot).  The wait Event is allocated lazily by the
+        # first blocking waiter: most tickets — resilient-tier
+        # attempts, post-drain inspection — are consumed via callbacks
+        # or after completion and never pay for a Condition.
+        self._done = False
+        self._event: threading.Event | None = None  # guard: _cb_lock
         self._outcome = None
         self._error: Exception | None = None
+        self._cb_lock = threading.Lock()
+        self._callbacks: list = []  # guard: _cb_lock
 
     def done(self) -> bool:
-        return self._event.is_set()
+        return self._done
+
+    def _wait(self, timeout: float | None) -> bool:
+        if self._done:
+            return True
+        with self._cb_lock:
+            if self._done:
+                return True
+            if self._event is None:
+                self._event = threading.Event()
+            event = self._event
+        return event.wait(timeout)
+
+    def add_done_callback(self, fn) -> None:
+        """Invoke ``fn(ticket)`` when the ticket completes or fails.
+
+        Runs on the completing thread (a service worker, or
+        :meth:`MatchService.cancel`'s caller); if the ticket is already
+        done it runs immediately on the registering thread.  The
+        resilient tier is built on this hook — retries, hedging and
+        breaker accounting all react to completions without polling.
+        """
+        with self._cb_lock:
+            if not self._done:
+                access(self, "_callbacks")
+                self._callbacks.append(fn)
+                return
+        fn(self)
 
     def result(self, timeout: float | None = None):
-        if not self._event.wait(timeout):
+        if not self._wait(timeout):
             raise TimeoutError(
                 f"request {self.request_id} still pending after "
                 f"{timeout}s (real time)")
@@ -169,7 +215,7 @@ class MatchTicket:
 
     def exception(self, timeout: float | None = None) -> Exception | None:
         """The typed failure, if any, without raising it."""
-        if not self._event.wait(timeout):
+        if not self._wait(timeout):
             raise TimeoutError(
                 f"request {self.request_id} still pending after "
                 f"{timeout}s (real time)")
@@ -185,12 +231,22 @@ class MatchTicket:
     def _complete(self, outcome, now: float) -> None:
         self._outcome = outcome
         self.completed_at = now
-        self._event.set()
+        self._settle()
 
     def _fail(self, error: Exception, now: float) -> None:
         self._error = error
         self.completed_at = now
-        self._event.set()
+        self._settle()
+
+    def _settle(self) -> None:
+        with self._cb_lock:
+            self._done = True
+            if self._event is not None:
+                self._event.set()
+            access(self, "_callbacks")
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
 
 
 class _Request:
@@ -249,9 +305,24 @@ class MatchService:
         self._cond = self.clock.condition()
         self._pending: deque[_Request] = deque()  # guard: _cond
         self._inflight = 0                        # guard: _cond
+        self._sleeping = 0                        # guard: _cond
+        #: Wake callbacks of workers parked in a chaos slow-forward
+        #: sleep; ``close`` fires them so shutdown cuts injected
+        #: latency short instead of joining a worker whose (possibly
+        #: virtual) wake timer will never fire.
+        self._sleepers: list = []                 # guard: _cond
+        #: Flush deadlines of workers parked in the timed coalescing
+        #: wait; the ``settled`` probe treats a worker as quiescent
+        #: only while its deadline is still in the future.
+        self._flush_parked: list[float] = []      # guard: _cond
         self._ids = itertools.count()
         self._closed = False                      # guard: _cond
         self._workers: list[threading.Thread] = []  # guard: _cond
+        #: Workers whose loop has exited (chaos kill, crash, or normal
+        #: close).  Written under _cond; read lock-free by the hot
+        #: routing path — a monotone int flip is a valid snapshot, and
+        #: it flips *before* the thread object reports dead.
+        self._dead_workers = 0                    # guard: _cond
         if tracer is None:
             tracer = RequestTracer(
                 clock=self.clock,
@@ -272,11 +343,16 @@ class MatchService:
         self._rejected = registry.counter("serve.rejected")
         self._timeouts = registry.counter("serve.timeouts")
         self._degraded = registry.counter("serve.degraded")
+        self._cancelled = registry.counter("serve.cancelled")
         self._batch_size = registry.histogram("serve.batch.size")
         self._batch_wait = registry.histogram("serve.batch.wait_seconds",
                                               buckets=LATENCY_BUCKETS)
         self._latency = registry.histogram("serve.latency_seconds",
                                            buckets=LATENCY_BUCKETS)
+        # Every rejection's backoff hint goes here, so dashboards see
+        # shed pressure, not just a rejection count.
+        self._retry_after_hist = registry.histogram(
+            "serve.retry_after_seconds", buckets=LATENCY_BUCKETS)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -318,6 +394,12 @@ class MatchService:
                 self._pending.clear()
                 self._queue_depth.set(0)
             self._cond.notify_all()
+            sleepers = list(self._sleepers)
+        # Cut injected slow-forward latency short: a parked worker's
+        # wake timer may be virtual (never firing again once drivers
+        # stop advancing), and the joins below must not wait on it.
+        for wake in sleepers:
+            wake()
         now = self.clock.now()
         for request in abandoned:
             request.ticket._fail(
@@ -334,6 +416,24 @@ class MatchService:
         with self._cond:
             access(self, "_workers")
             self._workers = []
+            access(self, "_pending")
+            leftover = list(self._pending)
+            self._pending.clear()
+            if leftover:
+                self._queue_depth.set(0)
+        # A dead worker pool (chaos kills) can leave requests queued
+        # even on a drain close; fail them typed rather than letting
+        # their tickets hang forever.
+        now = self.clock.now()
+        for request in leftover:
+            request.ticket._fail(
+                ServiceClosed(f"service closed with request "
+                              f"{request.id} still queued (no live "
+                              f"workers to drain it)"), now)
+            if request.span is not None:
+                self.tracer.end(request.wait_span, end=now)
+                self.tracer.finish(request.span, end=now,
+                                   outcome="closed")
 
     def __enter__(self) -> "MatchService":
         return self.start()
@@ -345,9 +445,15 @@ class MatchService:
 
     @property
     def queue_depth(self) -> int:
-        with self._cond:
-            access(self, "_pending", write=False)
-            return len(self._pending)
+        """Requests waiting to be batched.
+
+        A lock-free snapshot (``len`` of the deque is atomic), like
+        ``queue.Queue.qsize``: approximate while workers are actively
+        draining, exact whenever the settled protocol holds.  The
+        resilient router reads this once per replica per request, so
+        it must not contend with the worker condition.
+        """
+        return len(self._pending)
 
     @property
     def inflight(self) -> int:
@@ -355,6 +461,35 @@ class MatchService:
         with self._cond:
             access(self, "_inflight", write=False)
             return self._inflight
+
+    def workers_alive(self) -> int:
+        """Worker threads still running (chaos can kill them)."""
+        with self._cond:
+            access(self, "_workers", write=False)
+            workers = list(self._workers)
+        return sum(1 for thread in workers if thread.is_alive())
+
+    @property
+    def healthy(self) -> bool:
+        """Started, accepting, and with a full worker pool.
+
+        The :class:`~repro.serve.ReplicaSet` health probe keys off
+        this: a dead worker (chaos ``maybe_kill_worker``, or a real
+        crash) leaves queued requests stranded, so a partially dead
+        pool already counts as unhealthy.
+        """
+        # Lock-free flag reads: the router consults this per replica
+        # per request, and each flag is written once in a monotone
+        # direction (closed False→True, dead-worker count up), so a
+        # torn snapshot can only report unhealthy early — never
+        # healthy late.
+        return (bool(self._workers) and not self._closed
+                and self._dead_workers == 0)
+
+    @guarded_by("_cond")
+    def _workers_alive_locked(self) -> bool:
+        access(self, "_workers", write=False)
+        return any(thread.is_alive() for thread in self._workers)
 
     @property
     def settled(self) -> bool:
@@ -365,24 +500,56 @@ class MatchService:
         advance when nothing is mid-scoring and the queue is either
         empty or parked behind an armed flush timer (with room to
         spare — a full batch is about to be drained without any timer,
-        so it counts as unsettled until the drain happens).
+        so it counts as unsettled until the drain happens).  The probe
+        uses only service-local bookkeeping (``_flush_waiters``,
+        ``_sleeping``) rather than the clock's global timer count, so
+        unrelated timers on a shared clock — the resilient tier's
+        health probes, hedges and backoffs — cannot make a mid-reaction
+        service look quiescent.  A dead worker pool counts as settled:
+        nothing will ever react, and only a supervisor respawn (itself
+        timer-driven) changes that.
         """
-        pending_timers = getattr(self.clock, "pending_timers", None)
         with self._cond:
             access(self, "_inflight", write=False)
             access(self, "_pending", write=False)
             if self._inflight:
-                return False
+                # A worker mid-scoring is unsettled — unless every
+                # inflight worker is parked on a chaos slow-forward
+                # timer, in which case only advancing time frees it.
+                return self._inflight <= self._sleeping
             if not self._pending:
                 return True
-            return (pending_timers is not None and pending_timers() > 0
-                    and len(self._pending) < self.config.max_batch_size)
+            if len(self._pending) >= self.config.max_batch_size \
+                    or not self._flush_parked:
+                # A live worker is about to drain (full batch needs no
+                # timer) or has not parked on its flush timer yet.
+                return not self._workers_alive_locked()
+            # Parked workers whose flush deadline already passed are
+            # runnable (mid-wakeup), not quiescent.
+            now = self.clock.now()
+            return all(deadline > now for deadline in self._flush_parked)
 
     @guarded_by("_cond")
     def _retry_after_locked(self) -> float:
+        """Backoff hint for a rejection: drain time for the backlog.
+
+        Non-negative and monotone non-decreasing in the queue depth
+        (``ceil(depth / batch) * flush-horizon``, floored at one
+        horizon) — :class:`repro.serve.RetryPolicy` consumes it as a
+        lower bound on its backoff delay.
+        """
         drains = math.ceil(len(self._pending)
                            / self.config.max_batch_size)
-        return max(drains, 1) * self.config.max_wait_ms / 1000.0
+        hint = max(drains, 1) * self.config.max_wait_ms / 1000.0
+        assert hint >= 0.0, f"retry_after hint went negative: {hint}"
+        return hint
+
+    @guarded_by("_cond")
+    def _reject_locked(self, count: int) -> ServiceOverloaded:
+        self._rejected.inc(count)
+        hint = self._retry_after_locked()
+        self._retry_after_hist.observe(hint)
+        return ServiceOverloaded(len(self._pending), hint)
 
     @guarded_by("_cond")
     def _admit_locked(self, entity_a, entity_b,
@@ -422,9 +589,7 @@ class MatchService:
             if self._closed:
                 raise ServiceClosed("service is closed to new requests")
             if len(self._pending) >= self.config.max_queue:
-                self._rejected.inc()
-                raise ServiceOverloaded(len(self._pending),
-                                        self._retry_after_locked())
+                raise self._reject_locked(1)
             request = self._admit_locked(entity_a, entity_b, timeout_ms)
             self._queue_depth.set(len(self._pending))
             self._cond.notify_all()
@@ -445,9 +610,7 @@ class MatchService:
             if self._closed:
                 raise ServiceClosed("service is closed to new requests")
             if len(self._pending) + len(pairs) > self.config.max_queue:
-                self._rejected.inc(len(pairs))
-                raise ServiceOverloaded(len(self._pending),
-                                        self._retry_after_locked())
+                raise self._reject_locked(len(pairs))
             tickets = [
                 self._admit_locked(entity_a, entity_b, timeout_ms).ticket
                 for entity_a, entity_b in pairs]
@@ -455,9 +618,48 @@ class MatchService:
             self._cond.notify_all()
             return tickets
 
+    def cancel(self, ticket: MatchTicket) -> bool:
+        """Withdraw a still-queued request; True if it was removed.
+
+        The request fails with :class:`RequestCancelled` (its done
+        callbacks fire).  Returns False when the ticket is already
+        completed or claimed by a worker — an inflight score cannot be
+        recalled, only its result ignored.  The resilient tier uses
+        this to cancel the losing leg of a hedged request.
+        """
+        found: _Request | None = None
+        with self._cond:
+            access(self, "_pending")
+            for index, request in enumerate(self._pending):
+                if request.ticket is ticket:
+                    del self._pending[index]
+                    self._queue_depth.set(len(self._pending))
+                    found = request
+                    break
+        if found is None:
+            return False
+        self._cancelled.inc()
+        now = self.clock.now()
+        if found.span is not None:
+            self.tracer.end(found.wait_span, end=now)
+            self.tracer.finish(found.span, end=now, outcome="cancelled")
+        found.ticket._fail(RequestCancelled(found.id), now)
+        return True
+
     # -- the micro-batcher ---------------------------------------------------
 
     def _worker_loop(self) -> None:
+        try:
+            self._worker_run()
+        finally:
+            # Any exit — normal close, chaos kill, or a crash — marks
+            # the pool degraded before the thread object reports dead,
+            # so ``healthy`` needs no per-thread liveness poll.
+            with self._cond:
+                access(self, "_dead_workers")
+                self._dead_workers += 1
+
+    def _worker_run(self) -> None:
         while True:
             batch = self._next_batch()
             if batch is None:
@@ -468,6 +670,14 @@ class MatchService:
                 with self._cond:
                     access(self, "_inflight")
                     self._inflight -= 1
+            if self._chaos is not None:
+                try:
+                    self._chaos.maybe_kill_worker()
+                except WorkerKilled:
+                    # Abrupt thread death, after the batch's tickets
+                    # completed: the queue keeps accepting but nothing
+                    # drains it until a supervisor respawns the pool.
+                    return
 
     def _next_batch(self) -> list[_Request] | None:
         """Block until a batch is due; None when closed and drained.
@@ -491,7 +701,17 @@ class MatchService:
                         remaining = flush_at - self.clock.now()
                         if remaining <= 0:
                             break
-                        self._cond.wait_for(full, timeout=remaining)
+                        # The parked-deadline list is what ``settled``
+                        # keys on: the entry is only visible while this
+                        # worker is actually inside the timed wait (the
+                        # lock is held everywhere else in this loop).
+                        access(self, "_flush_parked")
+                        self._flush_parked.append(flush_at)
+                        try:
+                            self._cond.wait_for(full, timeout=remaining)
+                        finally:
+                            access(self, "_flush_parked")
+                            self._flush_parked.remove(flush_at)
                     if not self._pending:
                         continue  # another worker drained it
                     count = min(len(self._pending),
@@ -509,6 +729,46 @@ class MatchService:
     def _forward_hook(self, keys) -> None:
         if self._chaos is not None:
             self._chaos.maybe_fail_forward(keys)
+
+    def _chaos_sleep(self, seconds: float) -> None:
+        """Park this worker for ``seconds`` of injected latency.
+
+        Uses a clock timer rather than ``clock.sleep`` so the
+        ``_sleeping`` bookkeeping is decremented *by the timer callback*
+        (the driver thread, under a virtual clock) — the instant the
+        delay elapses the service reads as unsettled again, and the sim
+        driver waits for the woken worker to finish scoring before
+        advancing further.  That keeps slow-forward chaos inside the
+        deterministic settle protocol.
+        """
+        woken = threading.Event()
+        state = {"woken": False}
+
+        def wake() -> None:
+            # Idempotent: both the clock timer and ``close`` may call
+            # this; only the first firing flips the bookkeeping.
+            with self._cond:
+                if state["woken"]:
+                    return
+                state["woken"] = True
+                access(self, "_sleeping")
+                self._sleeping -= 1
+                access(self, "_sleepers")
+                self._sleepers.remove(wake)
+            woken.set()
+
+        with self._cond:
+            access(self, "_sleeping")
+            self._sleeping += 1
+            access(self, "_sleepers")
+            self._sleepers.append(wake)
+            # Registered under the lock so the sleep bookkeeping and
+            # the wake timer become visible to ``settled`` atomically —
+            # a driver can never observe the sleeper without the timer
+            # that frees it.
+            handle = self.clock.call_later(seconds, wake)
+        woken.wait()
+        self.clock.cancel(handle)  # no-op unless close() won the race
 
     def _process(self, batch: list[_Request]) -> None:
         now = self.clock.now()
@@ -538,6 +798,11 @@ class MatchService:
                 live.append(request)
         if not live:
             return
+        if self._chaos is not None:
+            delay = self._chaos.maybe_delay_forward(
+                [request.id for request in live])
+            if delay > 0.0:
+                self._chaos_sleep(delay)
         stages = (BatchStages(self.clock.now)
                   if self._backend_stages
                   and any(r.span is not None for r in live) else None)

@@ -168,14 +168,19 @@ class SimReport:
         return self.completed / self.duration if self.duration else 0.0
 
 
-def _advance_settled(service: MatchService, clock: VirtualClock,
-                     gap: float) -> None:
+def _advance_settled(settled, clock: VirtualClock, gap: float) -> None:
     """Advance virtual time by ``gap`` — one timer firing at a time,
     letting worker threads settle (react, drain, re-arm) in between, so
-    the same workload replays the same batch schedule every run."""
+    the same workload replays the same batch schedule every run.
+
+    ``settled`` is a zero-argument quiescence predicate —
+    ``MatchService.settled`` for the plain sim,
+    ``ResilientClient.settled`` (all replicas plus the supervisor) for
+    the resilient one.
+    """
     target = clock.now() + gap
     while True:
-        clock.settle(lambda: service.settled)
+        clock.settle(settled)
         now = clock.now()
         if now >= target:
             return
@@ -211,7 +216,8 @@ def run_simulation(service: MatchService, workload: Workload,
     for arrival in workload.arrivals:
         if arrival.at > elapsed:
             if virtual:
-                _advance_settled(service, clock, arrival.at - elapsed)
+                _advance_settled(lambda: service.settled, clock,
+                                 arrival.at - elapsed)
             else:
                 clock.run_for(arrival.at - elapsed)
             elapsed = arrival.at

@@ -34,7 +34,7 @@ class TestSelfLint:
 
     def test_rule_catalog(self):
         rules = available_rules()
-        assert len(rules) == 17
+        assert len(rules) == 18
         ids = [r.id for r in rules]
         assert len(set(ids)) == len(ids)
         assert all(r.id.startswith("RA") and r.name and r.hint
@@ -225,6 +225,58 @@ class TestLintRules:
         assert not _only(source, "RA112", package="repro.obs.context")
         assert _only(source, "RA112", package="repro.serve.service")
         assert _only(source, "RA112", package="repro.matching.api")
+
+    def test_ra118_tight_retry_loop_flagged(self):
+        bad = ("def naive(service, a, b):\n"
+               "    while True:\n"
+               "        try:\n"
+               "            return service.submit(a, b)\n"
+               "        except ServiceOverloaded:\n"
+               "            continue\n")
+        hits = _only(bad, "RA118", package="tools.client")
+        assert len(hits) == 1
+        assert "backoff" in hits[0].message
+
+    def test_ra118_backoff_between_attempts_allowed(self):
+        good = ("def patient(service, clock, a, b):\n"
+                "    while True:\n"
+                "        try:\n"
+                "            return service.submit(a, b)\n"
+                "        except ServiceOverloaded as exc:\n"
+                "            clock.sleep(exc.retry_after)\n")
+        assert not _only(good, "RA118", package="tools.client")
+        timer = ("def scheduled(service, policy, a, b):\n"
+                 "    for attempt in range(1, 4):\n"
+                 "        try:\n"
+                 "            return service.submit(a, b)\n"
+                 "        except ServeError:\n"
+                 "            wait(policy.backoff(0, attempt))\n")
+        assert not _only(timer, "RA118", package="tools.client")
+
+    def test_ra118_reraising_handler_allowed(self):
+        bail = ("def bail(service, a, b):\n"
+                "    for _ in range(3):\n"
+                "        try:\n"
+                "            return service.submit(a, b)\n"
+                "        except ServiceClosed:\n"
+                "            raise\n")
+        assert not _only(bail, "RA118", package="tools.client")
+
+    def test_ra118_needs_submit_and_serve_error(self):
+        no_submit = ("def poll(fetch):\n"
+                     "    while True:\n"
+                     "        try:\n"
+                     "            return fetch()\n"
+                     "        except RequestTimeout:\n"
+                     "            continue\n")
+        assert not _only(no_submit, "RA118", package="tools.client")
+        foreign = ("def other(service, a, b):\n"
+                   "    while True:\n"
+                   "        try:\n"
+                   "            return service.submit(a, b)\n"
+                   "        except KeyError:\n"
+                   "            continue\n")
+        assert not _only(foreign, "RA118", package="tools.client")
 
     def test_ra108_legacy_global_rng(self):
         source = ("import numpy as np\n"

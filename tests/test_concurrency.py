@@ -212,8 +212,16 @@ class TestRaceDetector:
     def test_unguarded_write_from_two_threads_is_reported(self):
         with RaceDetector() as detector:
             shared = _Shared()
+            # Both bumpers must be alive at once: the detector keys
+            # thread identity by ident, and CPython reuses the ident
+            # of an exited thread — without the barrier the first
+            # bumper can finish all five iterations before the second
+            # starts, which makes the two look like one thread and the
+            # "race" disappear.
+            ready = threading.Barrier(2)
 
             def bump():
+                ready.wait()
                 for _ in range(5):
                     hooks.access(shared, "counter", write=True)
                     shared.counter += 1
