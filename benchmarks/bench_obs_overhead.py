@@ -44,9 +44,9 @@ _SATURATION_RATE = 1e6
 
 
 def _build_matcher(num_pairs: int, seed: int, zoo_dir):
-    from repro.perf.bench import _build_pairs, _fit_matcher
-    data, pairs = _build_pairs(num_pairs, seed)
-    matcher = _fit_matcher("bert", data, seed, zoo_dir)
+    from repro.perf.bench import _build_workload, _fit_matcher
+    splits, pairs = _build_workload(num_pairs, seed)
+    matcher = _fit_matcher("bert", splits, seed, zoo_dir)
     matcher.match_many(pairs[:8], fast=True)  # warm token cache
     return matcher, pairs
 

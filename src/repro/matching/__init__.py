@@ -3,6 +3,8 @@
 from .active import (ActiveLearningConfig, ActiveLearningResult,
                      active_learning_loop, uncertainty_sampling)
 from .api import EntityMatcher
+from .cascade import (CascadeBand, CascadeEngine, build_cascade,
+                      calibrate_band)
 from .engine import MatchEngine
 from .finetune import (EpochRecord, FineTuneConfig, FineTuneResult,
                        evaluate_classifier, fine_tune)
@@ -13,6 +15,7 @@ from .serializer import (EncodedPairs, choose_max_length, encode_dataset,
 
 __all__ = [
     "EntityMatcher", "MatchEngine",
+    "CascadeEngine", "CascadeBand", "calibrate_band", "build_cascade",
     "active_learning_loop", "ActiveLearningConfig",
     "ActiveLearningResult", "uncertainty_sampling",
     "fine_tune", "FineTuneConfig", "FineTuneResult", "EpochRecord",

@@ -6,10 +6,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn import (Dropout, Embedding, LayerNorm, Linear, Module, Tensor,
-                  padding_attention_mask)
+                  fused, is_fused_enabled, padding_attention_mask)
 from .config import TransformerConfig
 from .transformer import (TransformerEncoder, cross_match_features,
-                          lexical_match_scores)
+                          lexical_match_scores, token_similarity)
 
 __all__ = ["BertEmbeddings", "BertModel", "BertPretrainingHeads"]
 
@@ -45,11 +45,31 @@ class BertEmbeddings(Module):
         positions = np.broadcast_to(np.arange(seq), (batch, seq))
         if segment_ids is None:
             segment_ids = np.zeros_like(input_ids)
+        if is_fused_enabled():
+            return Tensor(self.fused_forward(input_ids, positions,
+                                             segment_ids, match_features))
         total = (self.token(input_ids) + self.position(positions)
                  + self.segment(segment_ids))
         if match_features is not None and self.match_proj is not None:
             total = total + self.match_proj(Tensor(match_features))
         return self.dropout(self.norm(total))
+
+    def fused_forward(self, input_ids: np.ndarray, positions: np.ndarray,
+                      segment_ids: np.ndarray,
+                      match_features: np.ndarray | None) -> np.ndarray:
+        """No-tape array path, bit-identical to :meth:`forward` (dropout
+        is identity while the tape is off)."""
+        total = self.token.weight.data[input_ids]
+        total = total + self.position.weight.data[positions]
+        total += self.segment.weight.data[segment_ids]
+        if match_features is not None and self.match_proj is not None:
+            # Raw matmul, not fused.linear: this projection must stay
+            # outside the quantization dispatch (calibration quantizes
+            # every fused.linear weight it sees) and outside the kernel
+            # call counters.
+            total += match_features @ self.match_proj.weight.data.T
+        return fused.layer_norm(total, self.norm.weight.data,
+                                self.norm.bias.data, eps=self.norm.eps)
 
 
 class BertModel(Module):
@@ -79,11 +99,16 @@ class BertModel(Module):
         match_features = None
         if self.config.match_bias:
             table = self.embeddings.token.weight.data
-            match_scores = lexical_match_scores(
-                table, input_ids, self.special_token_ids)
+            # One shared similarity matrix: cross_match_features reads
+            # it, lexical_match_scores consumes it (mutates in place).
+            similarity = token_similarity(table, input_ids)
             if segment_ids is not None:
                 match_features = cross_match_features(
-                    table, input_ids, segment_ids, self.special_token_ids)
+                    table, input_ids, segment_ids, self.special_token_ids,
+                    similarity=similarity)
+            match_scores = lexical_match_scores(
+                table, input_ids, self.special_token_ids,
+                similarity=similarity)
         hidden = self.embeddings(input_ids, segment_ids,
                                  match_features=match_features)
         return self.encoder(hidden, attention_mask=attention_mask,
@@ -96,6 +121,18 @@ class BertModel(Module):
         if self.pooler is None:
             return cls_state
         return self.pooler(cls_state).tanh()
+
+    def fused_pooled_output(self, hidden: np.ndarray,
+                            cls_index: int = 0) -> np.ndarray:
+        """Array twin of :meth:`pooled_output`, bit-identical."""
+        cls_state = hidden[:, cls_index, :]
+        if self.pooler is None:
+            return cls_state
+        # Raw ops, not fused.linear: the pooler must stay outside the
+        # quantization dispatch and the kernel call counters.
+        pooled = cls_state @ self.pooler.weight.data.T
+        pooled += self.pooler.bias.data
+        return np.tanh(pooled, out=pooled)
 
 
 class BertPretrainingHeads(Module):

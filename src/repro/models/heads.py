@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import Dropout, Linear, Module, Tensor, no_grad
+from ..nn import (Dropout, Linear, Module, Tensor, fused, is_fused_enabled,
+                  no_grad)
 from .config import TransformerConfig
 
 __all__ = ["SequenceClassifier"]
@@ -44,9 +45,27 @@ class SequenceClassifier(Module):
                 cls_index: int = 0) -> Tensor:
         hidden = self.backbone(input_ids, segment_ids=segment_ids,
                                pad_mask=pad_mask)
+        if (is_fused_enabled()
+                and hasattr(self.backbone, "fused_pooled_output")):
+            return Tensor(self.fused_head(
+                self.backbone.fused_pooled_output(hidden.data,
+                                                  cls_index=cls_index)))
         pooled = self.backbone.pooled_output(hidden, cls_index=cls_index)
         features = self.hidden_layer(pooled).tanh()
         return self.output_layer(self.dropout(features))
+
+    def fused_head(self, pooled: np.ndarray) -> np.ndarray:
+        """No-tape array path for the classification head, bit-identical
+        to :meth:`forward` (dropout is identity while the tape is off)."""
+        # Raw ops, not fused.linear: the head must stay outside the
+        # quantization dispatch (calibration quantizes every
+        # fused.linear weight it sees) and the kernel call counters.
+        features = pooled @ self.hidden_layer.weight.data.T
+        features += self.hidden_layer.bias.data
+        np.tanh(features, out=features)
+        logits = features @ self.output_layer.weight.data.T
+        logits += self.output_layer.bias.data
+        return logits
 
     @no_grad()
     def predict_proba(self, input_ids: np.ndarray,
@@ -56,4 +75,7 @@ class SequenceClassifier(Module):
         """Match probabilities, shape (B, num_classes)."""
         logits = self.forward(input_ids, segment_ids=segment_ids,
                               pad_mask=pad_mask, cls_index=cls_index)
+        if is_fused_enabled():
+            # forward just returned an array we own; softmax in place.
+            return fused.softmax(logits.data, axis=-1, out=logits.data)
         return logits.softmax(axis=-1).numpy()

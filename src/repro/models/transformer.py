@@ -12,16 +12,50 @@ from .config import TransformerConfig
 
 __all__ = ["TransformerEncoderLayer", "TransformerEncoder",
            "sinusoidal_positions", "lexical_match_scores",
-           "cross_match_features"]
+           "cross_match_features", "token_similarity"]
 
 
 NUM_MATCH_FEATURES = 4
 
 
+def _normalized_rows(table: np.ndarray) -> np.ndarray:
+    """Row-normalized copy of an embedding table (zero rows guarded)."""
+    norms = np.linalg.norm(table, axis=-1, keepdims=True)
+    return table / np.maximum(norms, 1e-8)
+
+
+def _invalid_mask(input_ids: np.ndarray, invalid_ids,
+                  vocab_size: int) -> np.ndarray:
+    """Boolean mask of positions holding special/pad tokens.
+
+    A vocab-sized lookup table beats ``np.isin`` (sort-based) for the
+    handful of special ids this is called with on every forward batch.
+    """
+    table = np.zeros(vocab_size, dtype=bool)
+    table[list(invalid_ids)] = True
+    return table[input_ids]
+
+
+def token_similarity(embedding_table: np.ndarray,
+                     input_ids: np.ndarray) -> np.ndarray:
+    """Cosine similarity of raw token embeddings, (B, T, T).
+
+    The shared base matrix behind both :func:`lexical_match_scores` and
+    :func:`cross_match_features` — models that need both compute it once
+    and pass it to each (the matmul is the dominant cost of either).
+    """
+    # Normalize the table (vocab rows), not the gather (B*T rows): the
+    # gathered vectors are table rows repeated, so this does the same
+    # normalization once per vocab entry instead of once per position.
+    normalized = _normalized_rows(embedding_table)[np.asarray(input_ids)]
+    return normalized @ np.swapaxes(normalized, -1, -2)
+
+
 def cross_match_features(embedding_table: np.ndarray,
                          input_ids: np.ndarray,
                          segment_ids: np.ndarray,
-                         invalid_ids: set[int]) -> np.ndarray:
+                         invalid_ids: set[int],
+                         similarity: np.ndarray | None = None) -> np.ndarray:
     """Per-position cross-segment matchedness, (B, T, 3).
 
     For every position: [exact token match exists in the other segment,
@@ -35,42 +69,53 @@ def cross_match_features(embedding_table: np.ndarray,
     learned by pre-training.  Injected as an embedding channel the
     features are linearly aggregatable by the classifier token.
     Positions holding special/pad tokens get zeros.
+
+    ``similarity`` is an optional precomputed :func:`token_similarity`
+    matrix for these exact inputs; it is read, never mutated.
     """
     input_ids = np.asarray(input_ids)
     segment_ids = np.asarray(segment_ids)
-    vectors = embedding_table[input_ids]
-    norms = np.linalg.norm(vectors, axis=-1, keepdims=True)
-    normalized = vectors / np.maximum(norms, 1e-8)
-    similarity = normalized @ np.swapaxes(normalized, -1, -2)  # (B,T,T)
+    if similarity is None:
+        similarity = token_similarity(embedding_table, input_ids)
     cross = segment_ids[:, :, None] != segment_ids[:, None, :]
+    invalid = None
     if invalid_ids:
-        invalid = np.isin(input_ids, list(invalid_ids))
+        invalid = _invalid_mask(input_ids, invalid_ids,
+                                len(embedding_table))
         cross &= ~invalid[:, :, None]
         cross &= ~invalid[:, None, :]
     equal = input_ids[:, :, None] == input_ids[:, None, :]
-    masked = np.where(cross, similarity, -np.inf)
-    has_cross = cross.any(axis=-1)
-    exact_pairs = equal & cross
-    exact = exact_pairs.any(axis=-1).astype(DTYPE)
-    # Bigram: positions (i, j) match AND (i+1, j+1) match.
-    bigram_pairs = np.zeros_like(exact_pairs)
-    bigram_pairs[:, :-1, :-1] = exact_pairs[:, :-1, :-1] \
-        & exact_pairs[:, 1:, 1:]
-    bigram = bigram_pairs.any(axis=-1).astype(DTYPE)
-    best = np.where(has_cross, masked.max(axis=-1), 0.0)
-    counts = np.maximum(cross.sum(axis=-1), 1)
+    equal &= cross  # exact cross-segment pairs, reusing the buffer
+    exact = equal.any(axis=-1).astype(DTYPE)
+    # Bigram: positions (i, j) match AND (i+1, j+1) match.  Only the
+    # (T-1, T-1) corner can be True, so reduce just that slice.
+    bigram = np.zeros(equal.shape[:2], dtype=DTYPE)
+    bigram[:, :-1] = (equal[:, :-1, :-1] & equal[:, 1:, 1:]).any(axis=-1)
+    # The where=-max skips a full-size np.where scratch array and is
+    # exact (max has no accumulation order).  The mean must keep the
+    # dense zero-masked sum: a where=-sum's accumulation order varies
+    # with array layout, and per-pair results have to be bitwise
+    # independent of batch shape (the engine's pair-by-pair failure
+    # retry re-scores single pairs and compares against batch output).
+    raw_counts = cross.sum(axis=-1)
+    has_cross = raw_counts > 0  # same truth table as cross.any(-1)
+    best = np.where(
+        has_cross,
+        similarity.max(axis=-1, where=cross, initial=-np.inf), 0.0)
+    counts = np.maximum(raw_counts, 1)
     mean = np.where(has_cross,
                     np.where(cross, similarity, 0.0).sum(axis=-1) / counts,
                     0.0)
     features = np.stack([exact, bigram, best, mean], axis=-1)
-    if invalid_ids:
-        features[np.isin(input_ids, list(invalid_ids))] = 0.0
-    return features.astype(DTYPE)
+    if invalid is not None:
+        features[invalid] = 0.0
+    return features.astype(DTYPE, copy=False)
 
 
 def lexical_match_scores(embedding_table: np.ndarray,
                          input_ids: np.ndarray,
-                         invalid_ids: set[int]) -> np.ndarray:
+                         invalid_ids: set[int],
+                         similarity: np.ndarray | None = None) -> np.ndarray:
     """Cosine similarity of raw token embeddings, (B, T, T).
 
     The diagonal and any row/column belonging to a special or padding
@@ -78,19 +123,26 @@ def lexical_match_scores(embedding_table: np.ndarray,
     positions holding lexically similar tokens.  Computed outside the
     autodiff tape: the bias seeds matching behaviour, while the embedding
     table keeps training through the ordinary Q/K/V path.
+
+    ``similarity`` is an optional precomputed :func:`token_similarity`
+    matrix for these exact inputs.  It is CONSUMED (mutated in place) —
+    callers sharing one matrix must pass it here last.
     """
     input_ids = np.asarray(input_ids)
-    vectors = embedding_table[input_ids]
-    norms = np.linalg.norm(vectors, axis=-1, keepdims=True)
-    normalized = vectors / np.maximum(norms, 1e-8)
-    match = normalized @ np.swapaxes(normalized, -1, -2)
+    if similarity is None:
+        similarity = token_similarity(embedding_table, input_ids)
+    match = similarity
     batch, seq = input_ids.shape
     idx = np.arange(seq)
     match[:, idx, idx] = 0.0
     if invalid_ids:
-        invalid = np.isin(input_ids, list(invalid_ids))
-        match[invalid[:, :, None] | invalid[:, None, :]] = 0.0
-    return match.astype(DTYPE)
+        invalid = _invalid_mask(input_ids, invalid_ids,
+                                len(embedding_table))
+        # Zero whole rows, then whole columns through a transposed view
+        # — same cells as the (B, T, T) OR-mask without building it.
+        match[invalid] = 0.0
+        match.swapaxes(1, 2)[invalid] = 0.0
+    return match.astype(DTYPE, copy=False)
 
 
 def sinusoidal_positions(length: int, d_model: int) -> np.ndarray:

@@ -21,9 +21,13 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from .init import ACC_DTYPE
+
 __all__ = ["linear", "gelu", "softmax", "layer_norm", "feed_forward",
            "split_heads", "merge_heads", "attention_core",
-           "count_kernels"]
+           "count_kernels", "qlinear", "qfeed_forward",
+           "qattention_core", "quantized_inference",
+           "record_activations"]
 
 # Thread-local kernel observation hook: when the tracing layer wants to
 # know which fused kernels a forward pass engaged (and how often), it
@@ -60,13 +64,101 @@ def count_kernels():
         _HOOK.fn = previous
 
 
+# Thread-local quantization state.  ``overlay`` maps id(weight array) ->
+# QuantizedLinear and reroutes fused linear calls through the int8
+# kernels; ``record`` accumulates per-channel activation absmax during a
+# calibration sweep.  Both piggyback on the same dispatch point so the
+# model code needs zero changes: the fused path already funnels every
+# encoder linear through :func:`linear`.  Thread-local for the same
+# reason as ``_HOOK`` — concurrent serving workers must not see each
+# other's overlays.
+_QUANT = threading.local()
+
+
+@contextmanager
+def quantized_inference(overlay):
+    """Route fused linears through the int8 kernels inside the block.
+
+    ``overlay`` maps ``id(weight array) -> QuantizedLinear`` (built by
+    :meth:`repro.nn.QuantizedWeights.overlay_for`).  Calls whose weight
+    is not in the overlay keep the float path.  Nests: the previous
+    overlay is restored on exit.  Thread-local, like the kernel hook.
+    """
+    previous = getattr(_QUANT, "overlay", None)
+    _QUANT.overlay = dict(overlay)
+    try:
+        yield
+    finally:
+        _QUANT.overlay = previous
+
+
+@contextmanager
+def record_activations():
+    """Record per-channel input absmax of every fused linear call.
+
+    Yields a ``{id(weight array): absmax per input channel}`` dict that
+    fills in as the calibration sweep runs; maxima accumulate across
+    calls so one sweep over representative pairs yields the activation
+    range of each call site.  Only meaningful while the fused path is
+    engaged (tape off).
+    """
+    previous = getattr(_QUANT, "record", None)
+    ranges: dict[int, np.ndarray] = {}
+    _QUANT.record = ranges
+    try:
+        yield ranges
+    finally:
+        _QUANT.record = previous
+
+
+def _record_absmax(ranges: dict[int, np.ndarray], weight: np.ndarray,
+                   x: np.ndarray) -> None:
+    absmax = np.abs(x).reshape(-1, x.shape[-1]).max(axis=0)
+    prior = ranges.get(id(weight))
+    if prior is not None:
+        absmax = np.maximum(prior, absmax)
+    ranges[id(weight)] = absmax
+
+
 def linear(x: np.ndarray, weight: np.ndarray,
            bias: np.ndarray | None = None) -> np.ndarray:
     """Affine map ``x @ W^T + b`` with ``W`` stored (out, in)."""
+    overlay = getattr(_QUANT, "overlay", None)
+    if overlay is not None:
+        quantized = overlay.get(id(weight))
+        if quantized is not None:
+            return qlinear(x, quantized)
+    ranges = getattr(_QUANT, "record", None)
+    if ranges is not None:
+        _record_absmax(ranges, weight, x)
     _notify("linear")
     out = x @ weight.T
     if bias is not None:
-        out = out + bias
+        out += bias  # matmul output is owned; += is bitwise a + b
+    return out
+
+
+def qlinear(x: np.ndarray, quantized) -> np.ndarray:
+    """int8 per-channel affine map with float32 accumulation.
+
+    ``quantized`` is a :class:`repro.nn.QuantizedLinear`: int8 weight
+    payload ``q`` with per-output-channel scales and a calibrated
+    per-tensor activation scale.  The input is fake-quantized to the
+    int8 grid (round + clip at ±127), the contraction runs in
+    ``ACC_DTYPE`` over the cached float copy of the payload (NEP 50
+    would promote a raw int8 operand mixed with python floats to
+    float64 — RA119 guards that), and the result is rescaled by the
+    product of the two scales before the float bias is added.
+    """
+    _notify("qlinear")
+    x32 = np.asarray(x, dtype=ACC_DTYPE)
+    xq = x32 * ACC_DTYPE(1.0 / quantized.act_scale)
+    np.rint(xq, out=xq)
+    np.clip(xq, -127.0, 127.0, out=xq)
+    out = xq @ quantized.q32.T
+    out *= quantized.out_scale
+    if quantized.bias is not None:
+        out += quantized.bias
     return out
 
 
@@ -74,17 +166,41 @@ def gelu(x: np.ndarray) -> np.ndarray:
     """GELU, tanh approximation — same arithmetic as :meth:`Tensor.gelu`."""
     _notify("gelu")
     c = float(np.sqrt(2.0 / np.pi))
-    inner = c * (x + 0.044715 * x ** 3)
-    t = np.tanh(inner)
-    return 0.5 * x * (1.0 + t)
+    # x * x * x matches Tensor.gelu exactly (and avoids the pow ufunc,
+    # ~100x slower than two multiplies).  In-place chain: every step is
+    # a commutative twin of the Tensor-path expression, so the bits
+    # match with four fewer activation-sized temporaries.
+    t = x * x
+    t *= x
+    t *= 0.044715
+    t += x
+    t *= c
+    np.tanh(t, out=t)
+    t += 1.0
+    half_x = 0.5 * x
+    half_x *= t
+    return half_x
 
 
-def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Shift-stabilized softmax — same arithmetic as :meth:`Tensor.softmax`."""
+def softmax(x: np.ndarray, axis: int = -1,
+            out: np.ndarray | None = None) -> np.ndarray:
+    """Shift-stabilized softmax — same arithmetic as :meth:`Tensor.softmax`.
+
+    Pass ``out=x`` only when the caller owns ``x``: the input is then
+    consumed in place and no shifted copy is allocated at all.
+    """
     _notify("softmax")
-    shifted = x - x.max(axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / exp.sum(axis=axis, keepdims=True)
+    # Same op order as the Tensor path (subtract max, exp, divide by
+    # sum), in place on the shifted copy — attention scores are
+    # (B, H, T, T), the largest arrays in the forward.
+    if out is x:
+        shifted = x
+        shifted -= x.max(axis=axis, keepdims=True)
+    else:
+        shifted = x - x.max(axis=axis, keepdims=True)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=axis, keepdims=True)
+    return shifted
 
 
 def layer_norm(x: np.ndarray, weight: np.ndarray, bias: np.ndarray,
@@ -95,14 +211,35 @@ def layer_norm(x: np.ndarray, weight: np.ndarray, bias: np.ndarray,
     mu = x.mean(axis=-1, keepdims=True)
     var = x.var(axis=-1, keepdims=True)
     inv = 1.0 / np.sqrt(var + eps)
-    return (x - mu) * inv * weight + bias
+    out = x - mu
+    out *= inv
+    out *= weight
+    out += bias
+    return out
 
 
 def feed_forward(x: np.ndarray, w_in: np.ndarray, b_in: np.ndarray,
                  w_out: np.ndarray, b_out: np.ndarray) -> np.ndarray:
     """The transformer FF block ``linear -> gelu -> linear``, fused."""
+    overlay = getattr(_QUANT, "overlay", None)
+    if overlay is not None:
+        q_in = overlay.get(id(w_in))
+        q_out = overlay.get(id(w_out))
+        if q_in is not None and q_out is not None:
+            return qfeed_forward(x, q_in, q_out)
     _notify("feed_forward")
     return linear(gelu(linear(x, w_in, b_in)), w_out, b_out)
+
+
+def qfeed_forward(x: np.ndarray, q_in, q_out) -> np.ndarray:
+    """The FF block over int8 weights: ``qlinear -> gelu -> qlinear``.
+
+    ``q_in`` / ``q_out`` are :class:`repro.nn.QuantizedLinear` payloads
+    for the expand and project weights; GELU runs in ``ACC_DTYPE``
+    between the two quantized contractions.
+    """
+    _notify("qfeed_forward")
+    return qlinear(gelu(qlinear(x, q_in)), q_out)
 
 
 def split_heads(x: np.ndarray, num_heads: int) -> np.ndarray:
@@ -135,17 +272,65 @@ def attention_core(q: np.ndarray | None, k: np.ndarray | None,
     scores) pass pre-scaled ``scores`` directly and may leave ``q``/``k``
     as None; only the bias -> mask -> softmax -> V tail runs then.
     """
+    if getattr(_QUANT, "overlay", None) is not None:
+        return qattention_core(q, k, v, scale,
+                               attention_mask=attention_mask,
+                               score_bias=score_bias,
+                               mask_value=mask_value, scores=scores)
     _notify("attention_core")
+    return _attention_math(q, k, v, scale, attention_mask, score_bias,
+                           mask_value, scores)
+
+
+def qattention_core(q: np.ndarray | None, k: np.ndarray | None,
+                    v: np.ndarray, scale: float,
+                    attention_mask: np.ndarray | None = None,
+                    score_bias: np.ndarray | None = None,
+                    mask_value: float = -1e9,
+                    scores: np.ndarray | None = None) -> np.ndarray:
+    """:func:`attention_core` pinned to the quantized accumulation dtype.
+
+    Under a quantized overlay Q/K/V arrive from :func:`qlinear` already
+    in ``ACC_DTYPE``; this kernel forces the score and value
+    contractions to stay there so the quantized forward keeps the
+    float32-accumulation contract end to end even if the surrounding
+    model dtype drifts.  Same arithmetic as the float core otherwise.
+    """
+    _notify("qattention_core")
     if scores is None:
+        q = np.asarray(q, dtype=ACC_DTYPE)
+        k = np.asarray(k, dtype=ACC_DTYPE)
+    else:
+        scores = np.asarray(scores, dtype=ACC_DTYPE)
+    v = np.asarray(v, dtype=ACC_DTYPE)
+    return _attention_math(q, k, v, scale, attention_mask, score_bias,
+                           mask_value, scores)
+
+
+def _attention_math(q, k, v, scale, attention_mask, score_bias,
+                    mask_value, scores):
+    owned = scores is None
+    if owned:
         # float() strips numpy scalar types: they are not "weak" under
         # NEP 50 and would silently upcast float32 scores to float64,
         # breaking bit-identity with the Tensor path (whose scalar ops
         # coerce the same way).
-        scores = (q @ np.swapaxes(k, -1, -2)) * float(scale)
+        scores = q @ np.swapaxes(k, -1, -2)
+        scores *= float(scale)
     if score_bias is not None:
-        scores = scores + score_bias
+        # Mutate in place only when this frame owns the scores array;
+        # a caller-provided scores buffer must stay untouched.
+        if owned:
+            scores += score_bias
+        else:
+            scores = scores + score_bias
+            owned = True
     if attention_mask is not None:
-        scores = np.where(np.asarray(attention_mask, dtype=bool),
-                          mask_value, scores)
-    probs = softmax(scores, axis=-1)
+        mask = np.asarray(attention_mask, dtype=bool)
+        if owned:
+            np.copyto(scores, mask_value, where=mask)
+        else:
+            scores = np.where(mask, mask_value, scores)
+            owned = True
+    probs = softmax(scores, axis=-1, out=scores if owned else None)
     return probs @ v

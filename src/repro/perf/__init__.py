@@ -16,7 +16,8 @@ hardware allows without changing a single logit:
   engine emitting ``BENCH_perf.json``.
 """
 
-from .bench import (DEFAULT_ARCHS, SPEEDUP_THRESHOLD, run_perf_benchmark,
+from .bench import (DEFAULT_ARCHS, SCHEMA_VERSION, SPEEDUP_THRESHOLD,
+                    PerfConfig, PerfGates, run_perf_benchmark,
                     validate_report, write_report)
 from .bucketing import is_left_padded, plan_buckets, real_lengths, trim_length
 from .cache import LRUCache, TokenizationCache, ensure_token_cache
@@ -25,5 +26,6 @@ __all__ = [
     "LRUCache", "TokenizationCache", "ensure_token_cache",
     "plan_buckets", "real_lengths", "is_left_padded", "trim_length",
     "run_perf_benchmark", "validate_report", "write_report",
-    "DEFAULT_ARCHS", "SPEEDUP_THRESHOLD",
+    "DEFAULT_ARCHS", "SPEEDUP_THRESHOLD", "SCHEMA_VERSION",
+    "PerfConfig", "PerfGates",
 ]

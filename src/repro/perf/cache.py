@@ -148,6 +148,32 @@ class TokenizationCache:
             self._evictions.inc()
         return list(ids)
 
+    def lookup_pair(self, text_a: str, text_b: str, max_length: int,
+                    pad_to_max: bool, compute):
+        """Memoize a finished pair :class:`Encoding`, not just the ids.
+
+        EM workloads re-match identical pairs constantly (dedup sweeps,
+        repeated serving requests); per-side id caching still rebuilds
+        truncation, special-token assembly and the numpy arrays on every
+        call.  Cached encodings have their arrays frozen read-only so
+        the shared object can never be corrupted by a caller — consumers
+        stack or fancy-index them into batches, which copies.
+        """
+        key = (_content_key(text_a), _content_key(text_b),
+               max_length, pad_to_max)
+        cached = self._lru.get(key)
+        if cached is not None:
+            self._hits.inc()
+            return cached
+        self._misses.inc()
+        encoding = compute()
+        for array in (encoding.input_ids, encoding.segment_ids,
+                      encoding.pad_mask):
+            array.setflags(write=False)
+        if self._lru.put(key, encoding):
+            self._evictions.inc()
+        return encoding
+
     def clear(self) -> None:
         self._lru.clear()
 

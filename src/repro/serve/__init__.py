@@ -34,7 +34,8 @@ closes that gap in-process:
   overhead, behind ``repro bench resilient``.
 """
 
-from .backends import CallableBackend, DeepMatcherBackend, MatcherBackend
+from .backends import (CallableBackend, CascadeBackend, DeepMatcherBackend,
+                       MatcherBackend)
 from .bench import (load_serve_report, run_serve_benchmark,
                     validate_serve_report, write_serve_report)
 from .bench_resilient import (load_resilient_report,
@@ -57,7 +58,8 @@ __all__ = [
     "MatchService", "MatchTicket", "ServeConfig", "ServeError",
     "ServiceClosed", "ServiceOverloaded", "RequestTimeout",
     "RequestCancelled",
-    "MatcherBackend", "DeepMatcherBackend", "CallableBackend",
+    "MatcherBackend", "CascadeBackend", "DeepMatcherBackend",
+    "CallableBackend",
     "Clock", "ClockCondition", "SystemClock", "VirtualClock",
     "Arrival", "Workload", "SimReport", "generate_workload",
     "run_simulation",

@@ -34,7 +34,8 @@ from contextlib import ExitStack
 from ..data import EMDataset, EntityPair, Record
 from ..resilience import MatchOutcome, fallback_probability
 
-__all__ = ["MatcherBackend", "DeepMatcherBackend", "CallableBackend"]
+__all__ = ["MatcherBackend", "CascadeBackend", "DeepMatcherBackend",
+           "CallableBackend"]
 
 
 def _as_record(entity) -> Record:
@@ -59,6 +60,30 @@ class MatcherBackend:
               forward_hook=None, cb=None,
               stages=None) -> list[MatchOutcome]:
         return self._engine.score_pairs(
+            pairs, threshold=threshold, fallback=fallback, cb=cb,
+            batch_size=self._batch_size, keys=keys,
+            forward_hook=forward_hook, stages=stages)
+
+
+class CascadeBackend:
+    """Serve a :class:`repro.matching.CascadeEngine`.
+
+    The cascade follows the engine's ``score_pairs`` protocol exactly,
+    so the serving, resilience and tracing tiers compose with it
+    unchanged: chunk probabilities are bit-identical to calling the
+    cascade directly, escalated requests pick up an ``escalate`` trace
+    stage, and ``cascade.*`` escalation counters accumulate in the
+    cascade's metrics registry.
+    """
+
+    def __init__(self, cascade, batch_size: int = 64):
+        self._cascade = cascade
+        self._batch_size = batch_size
+
+    def score(self, pairs, keys, threshold: float, fallback: bool,
+              forward_hook=None, cb=None,
+              stages=None) -> list[MatchOutcome]:
+        return self._cascade.score_pairs(
             pairs, threshold=threshold, fallback=fallback, cb=cb,
             batch_size=self._batch_size, keys=keys,
             forward_hook=forward_hook, stages=stages)

@@ -86,11 +86,11 @@ def run_serve_benchmark(arch: str = "bert", num_pairs: int = 200,
                         load_levels=DEFAULT_LOAD_LEVELS,
                         smoke: bool = False) -> dict:
     """Run the serving benchmark and return the report dict."""
-    from ..perf.bench import _build_pairs, _fit_matcher
+    from ..perf.bench import _build_workload, _fit_matcher
     if smoke:
         num_pairs = min(num_pairs, 24)
-    data, pairs = _build_pairs(num_pairs, seed)
-    matcher = _fit_matcher(arch, data, seed, zoo_dir)
+    splits, pairs = _build_workload(num_pairs, seed)
+    matcher = _fit_matcher(arch, splits, seed, zoo_dir)
     matcher.match_many(pairs[:8], fast=True)  # warm the token cache/JIT
     baseline = _serial_baseline(matcher, pairs)
     levels = {

@@ -256,12 +256,12 @@ def run_resilient_benchmark(arch: str = "bert", num_pairs: int = 200,
                             num_requests: int = 1000,
                             smoke: bool = False) -> dict:
     """Run the resilience benchmark and return the report dict."""
-    from ..perf.bench import _build_pairs, _fit_matcher
+    from ..perf.bench import _build_workload, _fit_matcher
     if smoke:
         num_pairs = min(num_pairs, 24)
         num_requests = min(num_requests, 32)
-    data, pairs = _build_pairs(num_pairs, seed)
-    matcher = _fit_matcher(arch, data, seed, zoo_dir)
+    splits, pairs = _build_workload(num_pairs, seed)
+    matcher = _fit_matcher(arch, splits, seed, zoo_dir)
     matcher.match_many(pairs[:8], fast=True)  # warm the token cache/JIT
     import time
     start = time.perf_counter()

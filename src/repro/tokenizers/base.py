@@ -54,6 +54,33 @@ class SubwordTokenizer:
         #: Ids are vocabulary-specific, so a cache must never be shared
         #: between tokenizer instances.
         self.cache = None
+        # Word -> subword-pieces memo behind memoized_word().  Entity
+        # records repeat words heavily (venues, brands, model names), so
+        # per-word segmentation redoes the same greedy match over and
+        # over even when the text-level cache misses.  Engaged only
+        # while ``cache`` is attached, so the no-caching baseline stays
+        # a true baseline.
+        self._word_memo: dict[str, list[str]] = {}
+
+    def memoized_word(self, word: str, compute) -> list[str]:
+        """Segment ``word`` via ``compute``, memoized while caching is on.
+
+        Subclass ``tokenize`` implementations with a per-word inner loop
+        (WordPiece, BPE) route their word segmentation through here.
+        The memo is vocabulary-level state on this tokenizer instance —
+        never shared between tokenizers — and is dropped wholesale if it
+        grows past a bound so adversarial text cannot balloon it.
+        """
+        if self.cache is None:
+            return compute(word)
+        memo = self._word_memo
+        pieces = memo.get(word)
+        if pieces is None:
+            if len(memo) >= 65536:
+                memo.clear()
+            pieces = compute(word)
+            memo[word] = pieces
+        return pieces
 
     # -- subclass API ---------------------------------------------------------
 
@@ -72,7 +99,7 @@ class SubwordTokenizer:
         return self._encode_uncached(text)
 
     def _encode_uncached(self, text: str) -> list[int]:
-        return [self.vocab.token_to_id(t) for t in self.tokenize(text)]
+        return self.vocab.ids(self.tokenize(text))
 
     def decode(self, ids: list[int]) -> str:
         specials = self.vocab.special_ids()
@@ -135,6 +162,16 @@ class SubwordTokenizer:
         """
         if max_length < 4:
             raise ValueError("max_length must allow CLS/SEP plus content")
+        if self.cache is not None:
+            return self.cache.lookup_pair(
+                text_a, text_b, max_length, pad_to_max,
+                lambda: self._encode_pair_uncached(text_a, text_b,
+                                                   max_length, pad_to_max))
+        return self._encode_pair_uncached(text_a, text_b, max_length,
+                                          pad_to_max)
+
+    def _encode_pair_uncached(self, text_a: str, text_b: str,
+                              max_length: int, pad_to_max: bool) -> Encoding:
         ids_a = self.encode(text_a)
         ids_b = self.encode(text_b)
         budget = max_length - 3  # CLS + 2x SEP
@@ -159,9 +196,23 @@ class SubwordTokenizer:
 
 def _truncate_pair(ids_a: list[int], ids_b: list[int],
                    budget: int) -> tuple[list[int], list[int]]:
-    ids_a = list(ids_a)
-    ids_b = list(ids_b)
-    while len(ids_a) + len(ids_b) > budget:
-        longer = ids_a if len(ids_a) >= len(ids_b) else ids_b
-        longer.pop()
-    return ids_a, ids_b
+    # Closed form of "pop from the longer side (ties: a) until the pair
+    # fits": first the longer side is cut down to the shorter's length,
+    # then the remaining overflow alternates starting with a.  O(1)
+    # instead of one python iteration per dropped token — this is the
+    # hottest pure-python loop in the encode path.
+    la, lb = len(ids_a), len(ids_b)
+    overflow = la + lb - budget
+    if overflow <= 0:
+        return list(ids_a), list(ids_b)
+    if la >= lb:
+        cut = min(la - lb, overflow)
+        la -= cut
+    else:
+        cut = min(lb - la, overflow)
+        lb -= cut
+    remaining = la + lb - budget
+    if remaining > 0:
+        la -= (remaining + 1) // 2
+        lb -= remaining // 2
+    return ids_a[:la], ids_b[:lb]

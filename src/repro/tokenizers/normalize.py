@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import re
 import unicodedata
+from functools import lru_cache
 
 __all__ = ["normalize_text", "basic_pretokenize", "gpt2_pretokenize",
            "no_pretokenize"]
@@ -23,6 +24,11 @@ _GPT2_SPLIT = re.compile(
 def normalize_text(text: str, lowercase: bool = True,
                    strip_accents: bool = True) -> str:
     """Unicode NFKD normalization, optional lowercasing and accent removal."""
+    if text.isascii():
+        # NFKD is the identity on ASCII and ASCII has no combining
+        # marks, so only the casefold applies — this skips the per-char
+        # category scan on the overwhelmingly common case.
+        return text.lower() if lowercase else text
     text = unicodedata.normalize("NFKD", text)
     if strip_accents:
         text = "".join(ch for ch in text
@@ -32,6 +38,7 @@ def normalize_text(text: str, lowercase: bool = True,
     return text
 
 
+@lru_cache(maxsize=65536)
 def _is_punctuation(ch: str) -> bool:
     return unicodedata.category(ch).startswith("P") or ch in "$+<=>^`|~"
 

@@ -65,6 +65,16 @@ class Vocab:
     def token_to_id(self, token: str) -> int:
         return self._token_to_id.get(token, self._token_to_id[self.specials.unk])
 
+    def ids(self, tokens: list[str]) -> list[int]:
+        """Map many tokens to ids (unknowns -> unk) in one pass.
+
+        Bound-method hoisting makes this measurably cheaper than a
+        per-token :meth:`token_to_id` call on the encode hot path.
+        """
+        get = self._token_to_id.get
+        unk = self._token_to_id[self.specials.unk]
+        return [get(token, unk) for token in tokens]
+
     def id_to_token(self, idx: int) -> str:
         return self._id_to_token[idx]
 

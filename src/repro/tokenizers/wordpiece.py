@@ -32,9 +32,18 @@ class WordPieceTokenizer(SubwordTokenizer):
     def tokenize(self, text: str) -> list[str]:
         text = normalize_text(text, lowercase=self.lowercase)
         output: list[str] = []
-        for word in basic_pretokenize(text):
-            output.extend(self._tokenize_word(word))
+        # Memoize whole whitespace-separated chunks rather than the
+        # punctuation-split words inside them: one memo hit replaces the
+        # punctuation scan plus every greedy match in the chunk.
+        for chunk in text.split():
+            output.extend(self.memoized_word(chunk, self._tokenize_chunk))
         return output
+
+    def _tokenize_chunk(self, chunk: str) -> list[str]:
+        pieces: list[str] = []
+        for word in basic_pretokenize(chunk):
+            pieces.extend(self._tokenize_word(word))
+        return pieces
 
     def _tokenize_word(self, word: str) -> list[str]:
         if len(word) > self.max_word_chars:
