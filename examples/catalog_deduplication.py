@@ -1,67 +1,73 @@
-"""Scenario: integrating two product catalogs (the paper's Tables 1-2).
+"""Scenario: deduplicating a raw product catalog end to end.
 
-Two retailers publish the same products with different schemas and
-conventions — one structured (title/brand/model/price), one mostly
-textual.  The pipeline fine-tunes a transformer matcher on labeled pairs
-and then sweeps a candidate table, producing the merged-catalog report a
-data-integration engineer would consume: matched pairs, conflicts, and
-per-decision probabilities.
+A retailer's catalog has accumulated duplicate listings — the same
+product entered by different vendors with drifting model numbers, typos
+and missing fields.  Unlike the paper's benchmarks, nothing is
+pre-paired: the pipeline must first *block* (generate candidate pairs
+without touching the O(n²) cross product), then score each candidate,
+then transitively cluster the matches into entity ids.
+
+The walkthrough runs the full `repro dedupe` pipeline twice — once with
+the fast token-Jaccard scorer, once with the blended string-similarity
+scorer — and reports blocking quality (pairs-completeness / reduction
+ratio) plus clustering accuracy (adjusted Rand) against the generated
+catalog's gold entity assignment.
 
     python examples/catalog_deduplication.py
 """
 
-import numpy as np
-
-from repro.data import load_benchmark, split_dataset
-from repro.matching import EntityMatcher, FineTuneConfig
-from repro.utils import child_rng, format_table
+from repro.data import MinHashLSHBlocker, evaluate_blocking
+from repro.data.generators import NoiseProfile
+from repro.dedupe import (DedupeConfig, SimilarityEngine,
+                          adjusted_rand_index, dedupe_records,
+                          generate_catalog, write_clusters)
+from repro.utils import format_table
 
 
 def main() -> None:
-    print("Building the two-catalog matching task (Abt-Buy style, "
-          "textual) ...")
-    data = load_benchmark("abt-buy", seed=13, scale=0.06)
-    splits = split_dataset(data, child_rng(13, "split"))
-    print(f"  train {len(splits.train)} / validation "
-          f"{len(splits.validation)} / test {len(splits.test)} pairs")
+    print("Generating a 3000-listing catalog with seeded duplicates ...")
+    profile = NoiseProfile(p_synonym=0.1, p_typo=0.01, p_drop_word=0.03,
+                           p_missing_attr=0.0, p_code_drift=0.2)
+    catalog = generate_catalog(3000, seed=2, profile=profile)
+    gold = catalog.gold_pairs()
+    print(f"  {len(catalog)} records, {catalog.meta['num_entities']} "
+          f"true entities, {len(gold)} duplicate pairs hidden inside "
+          f"{len(catalog) * (len(catalog) - 1) // 2} possible pairs")
 
-    matcher = EntityMatcher("bert",
-                            finetune_config=FineTuneConfig(epochs=4))
-    matcher.fit(splits.train, splits.test,
-                log=lambda m: print(f"  {m}"))
-
-    print("\nSweeping the test candidate table ...")
-    predictions = matcher.predict(splits.test)
-    labels = np.array(splits.test.labels())
+    print("\nBlocking with MinHash-LSH (128 permutations, 32 bands "
+          "of 4 rows) ...")
+    blocker = MinHashLSHBlocker(num_permutations=128, band_size=4, seed=0)
+    quality = evaluate_blocking(blocker.candidates(catalog.records),
+                                gold, len(catalog))
+    print(f"  {quality} — found {quality.pairs_completeness:.1%} of true "
+          f"duplicates while pruning {quality.reduction_ratio:.2%} of "
+          f"the cross product")
+    threshold_50 = blocker.jaccard_at(0.5)
+    print(f"  (b, r) collision curve crosses 50% at Jaccard "
+          f"{threshold_50:.3f}")
 
     rows = []
-    shown = 0
-    for pair, predicted, gold in zip(splits.test.pairs, predictions,
-                                     labels):
-        if shown >= 8:
-            break
-        if predicted == 1 or gold == 1:
-            probability = matcher.match_probability(pair.record_a,
-                                                    pair.record_b)
-            verdict = "MATCH" if predicted else "no match"
-            flag = "" if predicted == gold else "  <-- disagrees with gold"
-            rows.append([
-                pair.record_a.text_blob(
-                    data.serialization_attributes())[:38],
-                pair.record_b.text_blob(
-                    data.serialization_attributes())[:38],
-                f"{probability:.2f}", verdict + flag])
-            shown += 1
-    print(format_table(["Catalog A", "Catalog B", "P(match)", "decision"],
-                       rows, title="Merged-catalog decisions (sample)"))
-
-    metrics = matcher.evaluate(splits.test).as_percent()
-    kept = int(predictions.sum())
-    print(f"\n{kept} pairs linked across catalogs; "
-          f"F1 {metrics.f1:.1f} against gold labels "
-          f"({metrics.true_positives} correct links, "
-          f"{metrics.false_positives} spurious, "
-          f"{metrics.false_negatives} missed).")
+    for scorer, threshold in (("jaccard", 0.5), ("blend", 0.65)):
+        result = dedupe_records(
+            catalog.records, blocker, SimilarityEngine(scorer=scorer),
+            DedupeConfig(threshold=threshold))
+        ari = adjusted_rand_index(result.entity_ids,
+                                  catalog.gold_labels())
+        rows.append([scorer, f"{threshold:.2f}",
+                     str(result.num_candidates), str(result.num_matches),
+                     f"{result.num_entities} / "
+                     f"{catalog.meta['num_entities']}",
+                     f"{ari:.4f}"])
+        if scorer == "blend":
+            write_clusters("clusters.json", result)
+    print(format_table(
+        ["scorer", "threshold", "candidates", "matches",
+         "entities / gold", "adjusted Rand"],
+        rows, title="Block -> score -> cluster"))
+    print("\nCluster artifact written to clusters.json "
+          "(canonical JSON: identical runs are byte-identical).")
+    print("Scale it up: `python -m repro dedupe --records 100000` or "
+          "`python -m repro bench blocking` for the enforced gate.")
 
 
 if __name__ == "__main__":

@@ -60,6 +60,11 @@ RA119  quant-int8-promotion           arithmetic on a raw int8 quant payload
                                       without ``.astype`` — NEP 50 promotes
                                       the mix to float64, silently breaking
                                       the float32-accumulation contract
+RA120  cross-product-materialization  ``itertools.product(records_a,
+                                      records_b)``-style pairing of record
+                                      collections (or the nested-comprehension
+                                      equivalent) outside the blocking module
+                                      — O(n²) pairs defeat blocking
 ====== ============================== ==========================================
 
 (RA113–RA117 live in :mod:`repro.analysis.concurrency.rules` and are
@@ -1027,6 +1032,77 @@ class _QuantInt8Promotion(LintRule):
         return False
 
 
+class _CrossProductMaterialization(LintRule):
+    """Pairing two record collections directly is the O(n²) explosion
+    the blocking layer exists to prevent: 100k x 100k records is 10
+    billion pairs before the first model forward.  This rule flags
+    ``itertools.product(records_a, records_b)``-style calls and nested
+    comprehensions pairing two record-collection-looking names.  The
+    blocking module itself is exempt — generating candidates *is* its
+    job (and it does so through inverted indexes, not the cross
+    product)."""
+
+    id = "RA120"
+    name = "cross-product-materialization"
+    hint = ("generate candidates through a repro.data.blocking Blocker "
+            "(iter_candidates streams bounded batches) instead of "
+            "pairing the collections directly")
+
+    #: Names that look like a record collection.
+    _COLLECTION = re.compile(
+        r"(^|_)(records?|rows|entities|catalog|collection|tuples|"
+        r"listings)(_|$|s$)|^(records?|rows|entities)[ab]?$",
+        re.IGNORECASE)
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if module.in_package("repro.data.blocking"):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_product_call(module, node)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp)):
+                yield from self._check_comprehension(module, node)
+
+    def _check_product_call(self, module: SourceModule,
+                            node: ast.Call) -> Iterator[Violation]:
+        func = node.func
+        is_product = ((isinstance(func, ast.Name)
+                       and func.id == "product")
+                      or (isinstance(func, ast.Attribute)
+                          and func.attr == "product"
+                          and isinstance(func.value, ast.Name)
+                          and func.value.id == "itertools"))
+        if not is_product:
+            return
+        record_args = [arg for arg in node.args
+                       if self._is_collection(arg)]
+        if len(record_args) >= 2:
+            yield self.violation(
+                module, node,
+                "itertools.product over two record collections "
+                "materializes the |A| x |B| cross product — the cost "
+                "blocking exists to avoid")
+
+    def _check_comprehension(self, module: SourceModule,
+                             node: ast.AST) -> Iterator[Violation]:
+        collections = [gen.iter for gen in node.generators
+                       if self._is_collection(gen.iter)]
+        if len(collections) >= 2:
+            yield self.violation(
+                module, node,
+                "nested comprehension pairing two record collections "
+                "materializes the cross product — block first, then "
+                "score the candidate stream")
+
+    def _is_collection(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return bool(self._COLLECTION.search(node.id))
+        if isinstance(node, ast.Attribute):
+            return bool(self._COLLECTION.search(node.attr))
+        return False
+
+
 # Imported at the bottom of the class definitions on purpose: the
 # concurrency rules subclass LintRule, so this module must have defined
 # it (and SourceModule/Violation) before .concurrency.rules loads.
@@ -1047,6 +1123,7 @@ _RULES: tuple[LintRule, ...] = (
     _SpanWithoutContextManager(),
     _RetryWithoutBackoff(),
     _QuantInt8Promotion(),
+    _CrossProductMaterialization(),
 ) + CONCURRENCY_RULES
 
 

@@ -46,6 +46,11 @@ Commands
     injected race, the production scenarios must run clean.
 ``check``
     Umbrella gate: strict lint + strict audit + race scenarios.
+``dedupe``
+    Deduplicate a record collection end to end: block with a chosen
+    blocker, score candidates with the classical-similarity engine,
+    cluster matches into stable entity ids and write the cluster
+    artifact.
 ``bench``
     Run a benchmark suite; ``bench perf`` measures serial vs. fast
     ``match_many`` throughput and writes ``BENCH_perf.json``;
@@ -53,7 +58,10 @@ Commands
     match service and writes ``BENCH_serve.json``;
     ``bench resilient`` measures availability under seeded chaos
     (naive client vs the fault-tolerance tier) and the tier's
-    chaos-off overhead, writing ``BENCH_resilient.json``.
+    chaos-off overhead, writing ``BENCH_resilient.json``;
+    ``bench blocking`` measures blocking recall vs. reduction on
+    generated catalogs under an enforced 100k-scale gate, writing
+    ``BENCH_blocking.json``.
 ``serve-bench``
     Shorthand for ``bench serve``.
 """
@@ -236,16 +244,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="exit non-zero if any op or module is uncovered")
 
+    p = sub.add_parser("dedupe",
+                       help="deduplicate a generated catalog end to end")
+    p.add_argument("--records", type=int, default=5000,
+                   help="generated catalog size (default 5000)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--blocker", default="minhash",
+                   choices=["token", "sorted", "tfidf", "minhash"],
+                   help="candidate generator (default minhash)")
+    p.add_argument("--scorer", default="jaccard",
+                   choices=["jaccard", "blend"],
+                   help="similarity scorer: jaccard (fast) or blend "
+                        "(jaccard+jaro-winkler+levenshtein)")
+    p.add_argument("--threshold", type=float, default=0.5,
+                   help="match probability cut (default 0.5)")
+    p.add_argument("--candidate-batch", type=int, default=2048,
+                   help="blocker emission batch size (default 2048)")
+    p.add_argument("--output", default="clusters.json",
+                   help="cluster artifact path (default clusters.json)")
+
     for name in ("bench", "serve-bench"):
         if name == "bench":
             p = sub.add_parser("bench", help="run a benchmark suite")
-            p.add_argument("suite", choices=["perf", "serve", "resilient"],
+            p.add_argument("suite",
+                           choices=["perf", "serve", "resilient",
+                                    "blocking"],
                            help="perf: serial vs. fast match_many "
                                 "throughput; serve: micro-batching "
                                 "service throughput/latency under load; "
                                 "resilient: availability under seeded "
                                 "chaos plus the fault-tolerance tier's "
-                                "chaos-off overhead")
+                                "chaos-off overhead; blocking: recall "
+                                "vs. reduction of the blocker family on "
+                                "generated catalogs")
         else:
             p = sub.add_parser(
                 "serve-bench",
@@ -270,6 +301,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--requests", type=int, default=1000,
                        help="resilient suite: chaos-phase request count "
                             "(default 1000)")
+        p.add_argument("--records", type=int, default=100_000,
+                       help="blocking suite: gate-scale catalog size "
+                            "(default 100000)")
         p.add_argument("--output", default=None,
                        help="report path (default: BENCH_<suite>.json)")
         p.add_argument("--zoo-dir", default=None,
@@ -693,7 +727,61 @@ def _cmd_bench_resilient(args) -> int:
     return 0
 
 
+def _cmd_dedupe(args) -> int:
+    from .data.blocking import (MinHashLSHBlocker,
+                                SortedNeighborhoodBlocker, TfIdfBlocker,
+                                TokenBlocker)
+    from .dedupe import (DedupeConfig, SimilarityEngine, dedupe_records,
+                         generate_catalog, write_clusters)
+    blockers = {
+        "token": lambda: TokenBlocker(max_token_frequency=0.05),
+        "sorted": lambda: SortedNeighborhoodBlocker("title", window=10),
+        "tfidf": lambda: TfIdfBlocker(top_k=10, threshold=0.2),
+        "minhash": lambda: MinHashLSHBlocker(seed=args.seed),
+    }
+    catalog = generate_catalog(args.records, seed=args.seed)
+    result = dedupe_records(
+        catalog.records, blockers[args.blocker](),
+        SimilarityEngine(scorer=args.scorer),
+        DedupeConfig(threshold=args.threshold,
+                     candidate_batch=args.candidate_batch))
+    write_clusters(args.output, result)
+    print(f"{result.num_records} records -> {result.num_entities} "
+          f"entities ({result.num_candidates} candidates scored, "
+          f"{result.num_matches} matches, gold "
+          f"{catalog.meta['num_entities']} entities)")
+    print(f"clusters written to {args.output}")
+    return 0
+
+
+def _cmd_bench_blocking(args) -> int:
+    from .dedupe.bench import (BlockingBenchConfig, run_blocking_benchmark,
+                               validate_report, write_report)
+    config = BlockingBenchConfig(num_records=args.records, seed=args.seed)
+    report = run_blocking_benchmark(config, smoke=args.smoke)
+    problems = validate_report(report)
+    if problems:
+        for problem in problems:
+            print(f"error: invalid report: {problem}", file=sys.stderr)
+        return 2
+    path = args.output or "BENCH_blocking.json"
+    write_report(report, path)
+    acceptance = report["acceptance"]
+    print(f"gate: PC {acceptance['pairs_completeness']:.4f} "
+          f"(floor {acceptance['pairs_completeness_floor']}), "
+          f"RR {acceptance['reduction_ratio']:.6f} "
+          f"(floor {acceptance['reduction_ratio_floor']}), "
+          f"streamed {acceptance['streamed']}")
+    print(f"report written to {path}")
+    if acceptance["enforced"] and not acceptance["passed"]:
+        print("error: blocking acceptance failed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args) -> int:
+    if args.suite == "blocking":
+        return _cmd_bench_blocking(args)
     if args.batch_size is None:
         # The fused path peaks at larger batches; the serve suites were
         # tuned (and their floors measured) at 32.
@@ -773,6 +861,7 @@ _COMMANDS = {
     "races": _cmd_races,
     "check": _cmd_check,
     "audit": _cmd_audit,
+    "dedupe": _cmd_dedupe,
     "bench": _cmd_bench,
     "serve-bench": _cmd_bench,
 }

@@ -1,9 +1,9 @@
 """Entity-matching data substrate: records, benchmarks, splits, dirty
 transform and CSV persistence."""
 
-from .blocking import (BlockingQuality, CandidatePair,
-                       SortedNeighborhoodBlocker, TokenBlocker,
-                       evaluate_blocking)
+from .blocking import (Blocker, BlockingQuality, CandidatePair,
+                       MinHashLSHBlocker, SortedNeighborhoodBlocker,
+                       TfIdfBlocker, TokenBlocker, evaluate_blocking)
 from .catalog import (BENCHMARKS, PAPER_VARIANTS, benchmark_names,
                       load_benchmark, table3_spec)
 from .dirty import dirty_record, make_dirty
@@ -18,6 +18,7 @@ __all__ = [
     "save_dataset", "load_dataset",
     "load_benchmark", "benchmark_names", "table3_spec",
     "BENCHMARKS", "PAPER_VARIANTS",
-    "TokenBlocker", "SortedNeighborhoodBlocker", "CandidatePair",
+    "Blocker", "TokenBlocker", "SortedNeighborhoodBlocker",
+    "TfIdfBlocker", "MinHashLSHBlocker", "CandidatePair",
     "BlockingQuality", "evaluate_blocking",
 ]

@@ -1,39 +1,132 @@
-"""Blocking: candidate-pair generation for entity matching.
+"""Blocking: scalable candidate-pair generation for entity matching.
 
 The paper's benchmark datasets ship *pre-blocked* — someone already ran a
 cheap filter over the |A| x |B| cross product to produce a candidate set
 the matcher classifies.  This module provides that missing stage so the
-library works on raw record collections too:
+library works on raw record collections too, at catalog scale:
 
+* :class:`Blocker` — the protocol every blocker implements: streaming,
+  batched candidate emission (:meth:`Blocker.iter_candidates`) in both
+  A x B *linkage* mode and single-collection *self-join* (dedup) mode,
+  so 100k+ records never materialize the cross product;
 * :class:`TokenBlocker` — inverted-index blocking on shared tokens, with
   a document-frequency cut so stop-word-like tokens do not explode the
   candidate set;
 * :class:`SortedNeighborhoodBlocker` — the classic sliding-window method
   over a sort key (Hernandez & Stolfo, 1995);
+* :class:`TfIdfBlocker` — sparse cosine similarity over token TF-IDF
+  vectors with a top-k neighbor cut, accumulated through an inverted
+  index (never a dense similarity matrix);
+* :class:`MinHashLSHBlocker` — seeded shingling, ``n`` MinHash
+  permutations, banded locality-sensitive hashing with a tunable
+  ``(bands, rows)`` collision curve (Broder 1997; Leskovec et al.,
+  *Mining of Massive Datasets* ch. 3);
 * :func:`evaluate_blocking` — pairs-completeness / reduction-ratio, the
   standard blocking quality measures (Christen 2012).
+
+Determinism contract: every blocker is a pure function of its
+parameters, its seed (where applicable) and the record *contents* —
+two runs over the same input produce identical candidate lists, and the
+candidate *set* of :class:`TokenBlocker` / :class:`TfIdfBlocker` /
+:class:`MinHashLSHBlocker` is invariant under permutation of the input
+records (up to index relabeling).  :class:`SortedNeighborhoodBlocker`
+is the documented exception: equal sort keys are windowed in input
+order, so its candidate set can differ across permutations.
 """
 
 from __future__ import annotations
 
+import hashlib
+import re
 from collections import defaultdict
 from dataclasses import dataclass
+from math import log
+from typing import Iterable, Iterator
+
+import numpy as np
 
 from .records import Record
 
-__all__ = ["CandidatePair", "TokenBlocker", "SortedNeighborhoodBlocker",
-           "BlockingQuality", "evaluate_blocking"]
+__all__ = ["CandidatePair", "Blocker", "TokenBlocker",
+           "SortedNeighborhoodBlocker", "TfIdfBlocker",
+           "MinHashLSHBlocker", "BlockingQuality", "evaluate_blocking"]
 
 
 @dataclass(frozen=True)
 class CandidatePair:
-    """Indices of a candidate (record from A, record from B)."""
+    """Indices of a candidate pair.
+
+    In linkage mode ``index_a`` points into collection A and
+    ``index_b`` into collection B; in self-join (dedup) mode both point
+    into the single collection and ``index_a < index_b``.
+    """
 
     index_a: int
     index_b: int
 
 
-class TokenBlocker:
+_WORD = re.compile(r"[a-z0-9]+")
+
+
+def _blob(record, attributes: list[str] | None) -> str:
+    """Serialized text of a record; tolerates plain mappings too."""
+    if isinstance(record, Record):
+        return record.text_blob(attributes)
+    attrs = attributes if attributes is not None else list(record)
+    return " ".join(v for v in (record.get(a, "") for a in attrs) if v)
+
+
+class Blocker:
+    """Candidate-generation protocol shared by every blocker.
+
+    Subclasses implement :meth:`_iter_pairs`, a generator over
+    :class:`CandidatePair` for either *linkage* (two collections) or
+    *self-join* (``records_b is None``; emits ``index_a < index_b``
+    within the one collection).  The public surface is uniform:
+
+    * :meth:`iter_candidates` — streaming emission in bounded batches,
+      the form the dedupe pipeline consumes: at no point does a blocker
+      (or its caller) hold the |A| x |B| cross product;
+    * :meth:`candidates` — the convenience list form for small inputs
+      and the evaluation helpers.
+    """
+
+    def _iter_pairs(self, records_a: list, records_b: list | None
+                    ) -> Iterator[CandidatePair]:
+        raise NotImplementedError
+
+    def iter_candidates(self, records_a: Iterable,
+                        records_b: Iterable | None = None,
+                        batch_size: int = 2048
+                        ) -> Iterator[list[CandidatePair]]:
+        """Yield candidate pairs in lists of at most ``batch_size``.
+
+        ``records_b=None`` selects self-join (dedup) mode.  Streaming:
+        memory tracks the index structures and one emitted batch, never
+        the cross product.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        records_a = list(records_a)
+        records_b = None if records_b is None else list(records_b)
+        batch: list[CandidatePair] = []
+        for pair in self._iter_pairs(records_a, records_b):
+            batch.append(pair)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    def candidates(self, records_a: Iterable,
+                   records_b: Iterable | None = None) -> list[CandidatePair]:
+        """All candidate pairs as one list (linkage or self-join)."""
+        return [pair
+                for chunk in self.iter_candidates(records_a, records_b)
+                for pair in chunk]
+
+
+class TokenBlocker(Blocker):
     """Inverted-index blocking: records sharing >= ``min_shared`` tokens
     (after a document-frequency cut) become candidates.
 
@@ -60,51 +153,67 @@ class TokenBlocker:
         self.max_token_frequency = max_token_frequency
         self.min_shared = min_shared
 
-    def _tokens(self, record: Record) -> set[str]:
-        text = record.text_blob(self.attributes)
-        return set(text.lower().split())
+    def _tokens(self, record) -> set[str]:
+        return set(_blob(record, self.attributes).lower().split())
 
-    def candidates(self, records_a: list[Record],
-                   records_b: list[Record]) -> list[CandidatePair]:
-        """All pairs sharing enough informative tokens."""
-        tokens_b: dict[str, list[int]] = defaultdict(list)
+    def _iter_pairs(self, records_a, records_b) -> Iterator[CandidatePair]:
+        if records_b is None:
+            yield from self._iter_self(records_a)
+            return
+        sets_a = [self._tokens(r) for r in records_a]
         sets_b = [self._tokens(r) for r in records_b]
+        postings: dict[str, list[int]] = defaultdict(list)
         for j, tokens in enumerate(sets_b):
             for token in tokens:
-                tokens_b[token].append(j)
-
+                postings[token].append(j)
         limit_a = self.max_token_frequency * max(len(records_a), 1)
         limit_b = self.max_token_frequency * max(len(records_b), 1)
         frequency_a: dict[str, int] = defaultdict(int)
-        sets_a = [self._tokens(r) for r in records_a]
         for tokens in sets_a:
             for token in tokens:
                 frequency_a[token] += 1
-
-        pairs: list[CandidatePair] = []
-        seen: set[tuple[int, int]] = set()
         for i, tokens in enumerate(sets_a):
             shared: dict[int, int] = defaultdict(int)
             for token in tokens:
                 if frequency_a[token] > limit_a:
                     continue
-                postings = tokens_b.get(token, ())
-                if len(postings) > limit_b:
+                hits = postings.get(token, ())
+                if len(hits) > limit_b:
                     continue
-                for j in postings:
+                for j in hits:
                     shared[j] += 1
-            for j, count in shared.items():
-                if count >= self.min_shared and (i, j) not in seen:
-                    seen.add((i, j))
-                    pairs.append(CandidatePair(i, j))
-        return pairs
+            for j in sorted(shared):
+                if shared[j] >= self.min_shared:
+                    yield CandidatePair(i, j)
+
+    def _iter_self(self, records) -> Iterator[CandidatePair]:
+        sets = [self._tokens(r) for r in records]
+        postings: dict[str, list[int]] = defaultdict(list)
+        for i, tokens in enumerate(sets):
+            for token in tokens:
+                postings[token].append(i)
+        limit = self.max_token_frequency * max(len(records), 1)
+        for i, tokens in enumerate(sets):
+            shared: dict[int, int] = defaultdict(int)
+            for token in tokens:
+                hits = postings[token]
+                if len(hits) > limit:
+                    continue
+                for j in hits:
+                    if j > i:
+                        shared[j] += 1
+            for j in sorted(shared):
+                if shared[j] >= self.min_shared:
+                    yield CandidatePair(i, j)
 
 
-class SortedNeighborhoodBlocker:
+class SortedNeighborhoodBlocker(Blocker):
     """Sort both collections by a key, slide a window over the merge.
 
     Records whose keys land within ``window`` positions of each other in
-    the merged ordering become candidates.
+    the merged ordering become candidates.  A record missing the
+    ``key_attribute`` sorts under the empty key (it is never an error:
+    real catalogs have holes).
     """
 
     def __init__(self, key_attribute: str, window: int = 5,
@@ -115,24 +224,343 @@ class SortedNeighborhoodBlocker:
         self.window = window
         self.key_length = key_length
 
-    def _key(self, record: Record) -> str:
-        return record[self.key_attribute].lower()[: self.key_length]
+    def _key(self, record) -> str:
+        try:
+            value = record[self.key_attribute]
+        except KeyError:  # plain mappings without the attribute
+            value = ""
+        return (value or "").lower()[: self.key_length]
 
-    def candidates(self, records_a: list[Record],
-                   records_b: list[Record]) -> list[CandidatePair]:
+    def _iter_pairs(self, records_a, records_b) -> Iterator[CandidatePair]:
+        if records_b is None:
+            ordered = sorted(range(len(records_a)),
+                             key=lambda i: self._key(records_a[i]))
+            seen: set[tuple[int, int]] = set()
+            for position, index in enumerate(ordered):
+                lo = max(0, position - self.window)
+                for other in ordered[lo:position]:
+                    pair = (min(index, other), max(index, other))
+                    if pair not in seen:
+                        seen.add(pair)
+                        yield CandidatePair(*pair)
+            return
         merged = ([(self._key(r), 0, i) for i, r in enumerate(records_a)]
                   + [(self._key(r), 1, j) for j, r in enumerate(records_b)])
         merged.sort(key=lambda item: item[0])
-        pairs: set[tuple[int, int]] = set()
+        seen = set()
         for position, (_, source, index) in enumerate(merged):
             lo = max(0, position - self.window)
             for _, other_source, other_index in merged[lo:position]:
-                if source != other_source:
-                    if source == 0:
-                        pairs.add((index, other_index))
-                    else:
-                        pairs.add((other_index, index))
-        return [CandidatePair(i, j) for i, j in sorted(pairs)]
+                if source == other_source:
+                    continue
+                pair = ((index, other_index) if source == 0
+                        else (other_index, index))
+                if pair not in seen:
+                    seen.add(pair)
+                    yield CandidatePair(*pair)
+
+
+class TfIdfBlocker(Blocker):
+    """Sparse cosine blocking over token TF-IDF vectors with a top-k cut.
+
+    Each record becomes an L2-normalized TF-IDF vector over its
+    alphanumeric tokens; similarities are accumulated through an
+    inverted index (only records sharing at least one token are ever
+    scored), and each record keeps its ``top_k`` most similar
+    neighbors at or above ``threshold``.  Ties at the k-th score are
+    all kept, which makes the candidate *set* invariant under record
+    permutation.
+
+    Parameters
+    ----------
+    attributes:
+        Attributes to tokenize (None = all).
+    top_k:
+        Neighbors kept per record (ties at the cut included).
+    threshold:
+        Minimum cosine similarity for a candidate.
+    """
+
+    #: Relative tolerance when comparing scores at the top-k boundary —
+    #: float accumulation order varies with input order, so an exact
+    #: comparison would break permutation invariance on ties.
+    _TIE_EPS = 1e-9
+
+    def __init__(self, attributes: list[str] | None = None,
+                 top_k: int = 10, threshold: float = 0.1):
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        self.attributes = attributes
+        self.top_k = top_k
+        self.threshold = threshold
+
+    def _counts(self, record) -> dict[str, int]:
+        counts: dict[str, int] = defaultdict(int)
+        for token in _WORD.findall(_blob(record, self.attributes).lower()):
+            counts[token] += 1
+        return counts
+
+    @staticmethod
+    def _vectors(counts: list[dict[str, int]]) -> list[dict[str, float]]:
+        """L2-normalized TF-IDF vectors with a smoothed idf."""
+        df: dict[str, int] = defaultdict(int)
+        for record_counts in counts:
+            for token in record_counts:
+                df[token] += 1
+        n = len(counts)
+        idf = {token: log((1.0 + n) / (1.0 + freq)) + 1.0
+               for token, freq in df.items()}
+        vectors: list[dict[str, float]] = []
+        for record_counts in counts:
+            weights = {token: tf * idf[token]
+                       for token, tf in record_counts.items()}
+            norm = sum(w * w for w in weights.values()) ** 0.5
+            if norm > 0.0:
+                weights = {t: w / norm for t, w in weights.items()}
+            vectors.append(weights)
+        return vectors
+
+    def _top(self, scores: dict[int, float]) -> list[int]:
+        """Indices surviving the top-k-with-ties cut, ascending."""
+        kept = [(j, s) for j, s in scores.items() if s >= self.threshold]
+        if not kept:
+            return []
+        if len(kept) > self.top_k:
+            ranked = sorted(s for _, s in kept)
+            floor = ranked[-self.top_k] - self._TIE_EPS
+            kept = [(j, s) for j, s in kept if s >= floor]
+        return sorted(j for j, _ in kept)
+
+    def _iter_pairs(self, records_a, records_b) -> Iterator[CandidatePair]:
+        self_join = records_b is None
+        corpus = records_a if self_join else records_b
+        counts_b = [self._counts(r) for r in corpus]
+        vectors_b = self._vectors(counts_b)
+        postings: dict[str, list[tuple[int, float]]] = defaultdict(list)
+        for j, vector in enumerate(vectors_b):
+            for token, weight in vector.items():
+                postings[token].append((j, weight))
+        if self_join:
+            vectors_a = vectors_b
+        else:
+            vectors_a = self._vectors([self._counts(r) for r in records_a])
+        seen: set[tuple[int, int]] = set()
+        for i, vector in enumerate(vectors_a):
+            scores: dict[int, float] = defaultdict(float)
+            for token, weight in vector.items():
+                for j, weight_b in postings.get(token, ()):
+                    if not self_join or j != i:
+                        scores[j] += weight * weight_b
+            for j in self._top(scores):
+                if not self_join:
+                    yield CandidatePair(i, j)
+                    continue
+                pair = (min(i, j), max(i, j))
+                if pair not in seen:
+                    seen.add(pair)
+                    yield CandidatePair(*pair)
+
+
+class MinHashLSHBlocker(Blocker):
+    """Banded MinHash locality-sensitive hashing over seeded shingles.
+
+    Every record is shingled (character ``shingle_size``-grams of its
+    normalized text by default, or token n-grams with
+    ``shingle_mode="token"``), each shingle is hashed with a stable
+     64-bit digest, and ``num_permutations`` seeded universal hashes
+    produce the MinHash signature.  Signatures are cut into
+    ``num_permutations / band_size`` bands of ``band_size`` rows; two
+    records become a candidate when any band collides exactly.  The
+    collision probability for Jaccard similarity ``s`` follows the
+    classic S-curve ``1 - (1 - s^rows)^bands``
+    (:meth:`collision_probability`), so ``(bands, rows)`` tunes the
+    recall/candidate-volume trade-off analytically.
+
+    Records with no shingles (all-empty text) are never emitted as
+    candidates — an empty record matches nothing, it does not match
+    every other empty record.
+
+    Parameters
+    ----------
+    num_permutations:
+        Signature length; must divide evenly into bands.
+    band_size:
+        Rows per band (``r`` in the LSH literature).
+    seed:
+        Seeds the permutation family; same seed, same candidates.
+    shingle_size:
+        Character n-gram length (or token n-gram length in token mode).
+    shingle_mode:
+        ``"char"`` (default) or ``"token"``.
+    attributes:
+        Attributes to shingle (None = all).
+    max_bucket_size:
+        Band buckets larger than this are skipped instead of emitting
+        a quadratic pair blowup (the standard LSH mega-bucket guard).
+    """
+
+    def __init__(self, num_permutations: int = 128, band_size: int = 4,
+                 seed: int = 0, shingle_size: int = 3,
+                 shingle_mode: str = "char",
+                 attributes: list[str] | None = None,
+                 max_bucket_size: int = 500):
+        if num_permutations < 1 or band_size < 1:
+            raise ValueError("num_permutations and band_size must be >= 1")
+        if num_permutations % band_size:
+            raise ValueError(
+                f"band_size {band_size} must divide num_permutations "
+                f"{num_permutations}")
+        if shingle_mode not in ("char", "token"):
+            raise ValueError(f"unknown shingle_mode {shingle_mode!r}")
+        if shingle_size < 1:
+            raise ValueError("shingle_size must be >= 1")
+        if max_bucket_size < 2:
+            raise ValueError("max_bucket_size must be >= 2")
+        self.num_permutations = num_permutations
+        self.band_size = band_size
+        self.num_bands = num_permutations // band_size
+        self.seed = seed
+        self.shingle_size = shingle_size
+        self.shingle_mode = shingle_mode
+        self.attributes = attributes
+        self.max_bucket_size = max_bucket_size
+        rng = np.random.default_rng(seed)
+        # Multiply-add universal hashing on the uint64 ring; odd
+        # multipliers keep the map a bijection.
+        self._mult = (rng.integers(1, 2 ** 63, size=num_permutations,
+                                   dtype=np.uint64) * np.uint64(2)
+                      + np.uint64(1))
+        self._add = rng.integers(0, 2 ** 63, size=num_permutations,
+                                 dtype=np.uint64)
+
+    # -- shingling -----------------------------------------------------------
+
+    def shingles(self, record) -> set[int]:
+        """Stable 64-bit shingle hashes of one record."""
+        text = " ".join(_WORD.findall(_blob(record,
+                                            self.attributes).lower()))
+        if not text:
+            return set()
+        size = self.shingle_size
+        if self.shingle_mode == "token":
+            tokens = text.split()
+            if len(tokens) < size:
+                grams = [" ".join(tokens)]
+            else:
+                grams = [" ".join(tokens[k: k + size])
+                         for k in range(len(tokens) - size + 1)]
+        else:
+            if len(text) < size:
+                grams = [text]
+            else:
+                grams = [text[k: k + size]
+                         for k in range(len(text) - size + 1)]
+        return {self._digest(gram) for gram in grams}
+
+    @staticmethod
+    def _digest(gram: str) -> int:
+        # Stable across processes (unlike hash(), which is salted).
+        raw = hashlib.blake2b(gram.encode("utf-8"), digest_size=8)
+        return int.from_bytes(raw.digest(), "little")
+
+    # -- signatures ----------------------------------------------------------
+
+    def signatures(self, records: Iterable) -> np.ndarray:
+        """MinHash signature matrix, shape (n_records, num_permutations).
+
+        Rows for empty-shingle records are all ``uint64`` max (the
+        identity of ``min``); :meth:`_iter_pairs` excludes them from
+        banding.
+        """
+        records = list(records)
+        sets = [self.shingles(r) for r in records]
+        sentinel = np.iinfo(np.uint64).max
+        signature = np.full((len(records), self.num_permutations),
+                            sentinel, dtype=np.uint64)
+        occupied = [i for i, s in enumerate(sets) if s]
+        if not occupied:
+            return signature
+        counts = np.asarray([len(sets[i]) for i in occupied])
+        flat = np.fromiter(
+            (h for i in occupied for h in sorted(sets[i])),
+            dtype=np.uint64, count=int(counts.sum()))
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        rows = np.asarray(occupied)
+        for p in range(self.num_permutations):
+            hashed = flat * self._mult[p] + self._add[p]
+            signature[rows, p] = np.minimum.reduceat(hashed, starts)
+        return signature
+
+    @staticmethod
+    def estimate_jaccard(signature_a: np.ndarray,
+                         signature_b: np.ndarray) -> float:
+        """Fraction of agreeing signature components (MinHash estimate)."""
+        return float(np.mean(signature_a == signature_b))
+
+    # -- the (b, r) collision curve ------------------------------------------
+
+    def collision_probability(self, jaccard: float) -> float:
+        """P(candidate) for a pair at the given Jaccard similarity."""
+        if not 0.0 <= jaccard <= 1.0:
+            raise ValueError(f"jaccard must be in [0, 1], got {jaccard}")
+        return 1.0 - (1.0 - jaccard ** self.band_size) ** self.num_bands
+
+    def jaccard_at(self, probability: float) -> float:
+        """Jaccard similarity where the collision curve crosses
+        ``probability`` (the inverse of :meth:`collision_probability`)."""
+        if not 0.0 < probability < 1.0:
+            raise ValueError(
+                f"probability must be in (0, 1), got {probability}")
+        inner = 1.0 - (1.0 - probability) ** (1.0 / self.num_bands)
+        return inner ** (1.0 / self.band_size)
+
+    # -- banding -------------------------------------------------------------
+
+    def _iter_pairs(self, records_a, records_b) -> Iterator[CandidatePair]:
+        self_join = records_b is None
+        sig_a = self.signatures(records_a)
+        occupied_a = ~np.all(
+            sig_a == np.iinfo(np.uint64).max, axis=1)
+        if self_join:
+            sig_b, occupied_b = sig_a, occupied_a
+        else:
+            sig_b = self.signatures(records_b)
+            occupied_b = ~np.all(
+                sig_b == np.iinfo(np.uint64).max, axis=1)
+        width_b = len(sig_b)
+        seen: set[int] = set()
+        for band in range(self.num_bands):
+            lo = band * self.band_size
+            slice_b = sig_b[:, lo: lo + self.band_size]
+            buckets: dict[bytes, list[int]] = defaultdict(list)
+            for j in range(len(slice_b)):
+                if occupied_b[j]:
+                    buckets[slice_b[j].tobytes()].append(j)
+            if self_join:
+                for members in buckets.values():
+                    if not 2 <= len(members) <= self.max_bucket_size:
+                        continue
+                    for a, i in enumerate(members):
+                        for j in members[a + 1:]:
+                            key = i * width_b + j
+                            if key not in seen:
+                                seen.add(key)
+                                yield CandidatePair(i, j)
+                continue
+            slice_a = sig_a[:, lo: lo + self.band_size]
+            for i in range(len(slice_a)):
+                if not occupied_a[i]:
+                    continue
+                members = buckets.get(slice_a[i].tobytes())
+                if members is None or len(members) > self.max_bucket_size:
+                    continue
+                for j in members:
+                    key = i * width_b + j
+                    if key not in seen:
+                        seen.add(key)
+                        yield CandidatePair(i, j)
 
 
 @dataclass
@@ -149,17 +577,27 @@ class BlockingQuality:
                 f"{self.num_candidates} candidates")
 
 
-def evaluate_blocking(candidates: list[CandidatePair],
+def evaluate_blocking(candidates: Iterable[CandidatePair],
                       true_matches: set[tuple[int, int]],
-                      size_a: int, size_b: int) -> BlockingQuality:
-    """Pairs-completeness and reduction ratio of a candidate set."""
+                      size_a: int,
+                      size_b: int | None = None) -> BlockingQuality:
+    """Pairs-completeness and reduction ratio of a candidate set.
+
+    ``size_b=None`` evaluates a self-join candidate set over ``size_a``
+    records (cross product ``size_a * (size_a - 1) / 2``).  An empty
+    cross product has, by definition, nothing left to prune: the
+    reduction ratio is 1.0.  Both metrics are clamped to [0, 1] so
+    adversarial inputs (duplicated candidates, inconsistent sizes)
+    cannot push them out of range.
+    """
     candidate_set = {(c.index_a, c.index_b) for c in candidates}
     found = len(candidate_set & true_matches)
     completeness = found / len(true_matches) if true_matches else 1.0
-    cross = size_a * size_b
-    reduction = 1.0 - len(candidate_set) / cross if cross else 0.0
+    cross = (size_a * size_b if size_b is not None
+             else size_a * (size_a - 1) // 2)
+    reduction = 1.0 - len(candidate_set) / cross if cross else 1.0
     return BlockingQuality(
-        pairs_completeness=completeness,
-        reduction_ratio=reduction,
+        pairs_completeness=min(max(completeness, 0.0), 1.0),
+        reduction_ratio=min(max(reduction, 0.0), 1.0),
         num_candidates=len(candidate_set),
     )

@@ -1,0 +1,98 @@
+"""Model-free scoring engine speaking the ``score_pairs`` protocol.
+
+The dedupe pipeline scores blocked candidates through any object with
+the :meth:`repro.matching.MatchEngine.score_pairs` signature — the
+transformer engine, the cascade, or this one.  :class:`SimilarityEngine`
+answers with classical string similarity, which makes a full 100k-record
+dedupe run feasible without a fitted model (and gives the benchmark an
+engine whose cost doesn't drown the blocking measurements).
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+
+from ..data.records import Record
+from ..resilience.fallback import MatchOutcome, fallback_probability
+
+__all__ = ["SimilarityEngine"]
+
+
+def _text(entity, attributes: list[str] | None) -> str:
+    record = entity if isinstance(entity, Record) else Record(dict(entity))
+    return record.text_blob(attributes)
+
+
+def _jaccard(text_a: str, text_b: str) -> float:
+    tokens_a = set(text_a.lower().split())
+    tokens_b = set(text_b.lower().split())
+    if not tokens_a and not tokens_b:
+        return 0.0
+    union = len(tokens_a | tokens_b)
+    return len(tokens_a & tokens_b) / union if union else 0.0
+
+
+class SimilarityEngine:
+    """Score record pairs by classical string similarity.
+
+    Parameters
+    ----------
+    attributes:
+        Attributes serialized into the compared text (None = all).
+    scorer:
+        ``"blend"`` uses :func:`repro.resilience.fallback_probability`
+        (Jaccard + Jaro-Winkler + Levenshtein — the degraded-matching
+        blend, accurate but O(len^2) per pair); ``"jaccard"`` uses
+        token-set overlap only (linear, the 100k-scale choice).
+    """
+
+    def __init__(self, attributes: list[str] | None = None,
+                 scorer: str = "blend"):
+        if scorer not in ("blend", "jaccard"):
+            raise ValueError(f"unknown scorer {scorer!r}")
+        self.attributes = attributes
+        self.scorer = scorer
+
+    def _probability(self, entity_a, entity_b) -> float:
+        text_a = _text(entity_a, self.attributes)
+        text_b = _text(entity_b, self.attributes)
+        if self.scorer == "jaccard":
+            return _jaccard(text_a, text_b)
+        return fallback_probability(text_a, text_b)
+
+    def score_pairs(self, pairs, threshold: float = 0.5,
+                    fallback: bool = True, cb=None, batch_size: int = 64,
+                    keys=None, forward_hook=None,
+                    stages=None) -> list[MatchOutcome]:
+        """Score ``pairs``; one :class:`MatchOutcome` per pair, in order.
+
+        Mirrors :meth:`repro.matching.MatchEngine.score_pairs`:
+        ``keys`` become outcome indices, a failing pair degrades to a
+        zero-probability outcome instead of aborting the batch, and
+        ``stages`` receives one clock-timed ``similarity`` record.
+        ``fallback`` / ``cb`` / ``forward_hook`` are accepted for
+        protocol compatibility (there is no model path to fall back
+        from or hook into).
+        """
+        del fallback, cb, batch_size, forward_hook
+        pairs = list(pairs)
+        keys = list(keys) if keys is not None else list(range(len(pairs)))
+        if len(keys) != len(pairs):
+            raise ValueError(f"{len(pairs)} pairs but {len(keys)} keys")
+        outcomes: list[MatchOutcome] = []
+        with ExitStack() as scope:
+            if stages is not None:
+                scope.enter_context(stages.stage("similarity",
+                                                 pairs=len(pairs)))
+            for key, (entity_a, entity_b) in zip(keys, pairs):
+                try:
+                    probability = self._probability(entity_a, entity_b)
+                    outcomes.append(MatchOutcome(
+                        index=key, probability=probability,
+                        matched=probability >= threshold))
+                except Exception as error:  # isolate per-pair failures
+                    outcomes.append(MatchOutcome(
+                        index=key, probability=0.0, matched=False,
+                        degraded=True,
+                        error=f"{type(error).__name__}: {error}"))
+        return outcomes

@@ -34,7 +34,7 @@ class TestSelfLint:
 
     def test_rule_catalog(self):
         rules = available_rules()
-        assert len(rules) == 19
+        assert len(rules) == 20
         ids = [r.id for r in rules]
         assert len(set(ids)) == len(ids)
         assert all(r.id.startswith("RA") and r.name and r.hint
@@ -313,6 +313,36 @@ class TestLintRules:
         source = ("def f(x, quantized):\n"
                   "    return x @ quantized.q.T\n")
         assert not _only(source, "RA119", package="tools.quantized")
+
+    def test_ra120_itertools_product_over_records_flagged(self):
+        bad = ("import itertools\n"
+               "def pair_all(records_a, records_b):\n"
+               "    return list(itertools.product(records_a, "
+               "records_b))\n")
+        hits = _only(bad, "RA120", package="repro.evaluation.pairing")
+        assert len(hits) == 1
+        assert "cross product" in hits[0].message
+
+    def test_ra120_nested_comprehension_flagged(self):
+        bad = ("def pair_all(records):\n"
+               "    return [(a, b) for a in records for b in records]\n")
+        hits = _only(bad, "RA120", package="repro.evaluation.pairing")
+        assert len(hits) == 1
+
+    def test_ra120_blocking_module_exempt(self):
+        source = ("import itertools\n"
+                  "def pair_all(records_a, records_b):\n"
+                  "    return list(itertools.product(records_a, "
+                  "records_b))\n")
+        assert not _only(source, "RA120", package="repro.data.blocking")
+
+    def test_ra120_non_record_product_allowed(self):
+        fine = ("import itertools\n"
+                "def grid(widths, heights):\n"
+                "    return list(itertools.product(widths, heights))\n"
+                "def single(records, flags):\n"
+                "    return [(r, f) for r in records for f in flags]\n")
+        assert not _only(fine, "RA120", package="repro.evaluation.grid")
 
     def test_ra108_legacy_global_rng(self):
         source = ("import numpy as np\n"

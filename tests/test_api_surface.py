@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.resilience",
     "repro.perf",
     "repro.serve",
+    "repro.dedupe",
 ]
 
 

@@ -1,13 +1,27 @@
-"""Blocking: token and sorted-neighborhood candidate generation."""
+"""Blocking: the candidate-generation family behind ``repro dedupe``.
+
+Covers the original token / sorted-neighborhood blockers, the TF-IDF
+cosine and MinHash-LSH additions, the streaming ``Blocker`` protocol
+(linkage and self-join), and the hypothesis property suite: determinism,
+permutation invariance up to index relabeling, the analytic (b, r)
+collision curve, the LSH superset guarantee at Jaccard 1, and
+range-safety of ``evaluate_blocking`` on arbitrary inputs.
+"""
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.data import Record
-from repro.data.blocking import (BlockingQuality, SortedNeighborhoodBlocker,
+from repro.data.blocking import (BlockingQuality, CandidatePair,
+                                 MinHashLSHBlocker,
+                                 SortedNeighborhoodBlocker, TfIdfBlocker,
                                  TokenBlocker, evaluate_blocking)
 from repro.data.generators import universe
 from repro.data.generators._base import NoiseProfile
+
+pytestmark = pytest.mark.blocking
 
 
 def _records():
@@ -109,3 +123,338 @@ class TestBlockingQuality:
         # two noisy views of the same entity share tokens almost always
         assert quality.pairs_completeness > 0.9
         assert quality.reduction_ratio > 0.3
+
+
+def _catalog_records(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    profile = NoiseProfile(p_missing_attr=0.0)
+    schema = ["title", "brand", "modelno"]
+    return [universe.render_product(universe.sample_product(rng),
+                                    schema, profile, rng)
+            for _ in range(n)]
+
+
+def _pair_set(candidates):
+    return {(p.index_a, p.index_b) for p in candidates}
+
+
+_ALL_BLOCKERS = [
+    lambda: TokenBlocker(max_token_frequency=1.0),
+    lambda: SortedNeighborhoodBlocker("title", window=3),
+    lambda: TfIdfBlocker(top_k=5, threshold=0.05),
+    lambda: MinHashLSHBlocker(num_permutations=32, band_size=2, seed=0),
+]
+
+
+class TestBlockerProtocol:
+    @pytest.mark.parametrize("make", _ALL_BLOCKERS)
+    def test_iter_candidates_batches_are_bounded(self, make):
+        records = _catalog_records(30)
+        batches = list(make().iter_candidates(records, batch_size=7))
+        assert all(1 <= len(batch) <= 7 for batch in batches)
+
+    @pytest.mark.parametrize("make", _ALL_BLOCKERS)
+    def test_iter_candidates_flattens_to_candidates(self, make):
+        records = _catalog_records(30)
+        flat = [p for b in make().iter_candidates(records, batch_size=7)
+                for p in b]
+        assert flat == make().candidates(records)
+
+    @pytest.mark.parametrize("make", _ALL_BLOCKERS)
+    def test_self_join_pairs_are_ordered_and_distinct(self, make):
+        records = _catalog_records(30)
+        pairs = make().candidates(records)
+        assert all(p.index_a < p.index_b for p in pairs)
+        assert len(pairs) == len(_pair_set(pairs))
+
+    @pytest.mark.parametrize("make", _ALL_BLOCKERS)
+    def test_linkage_mode_still_works(self, make):
+        a = _catalog_records(15, seed=1)
+        b = _catalog_records(15, seed=2)
+        pairs = make().candidates(a, b)
+        assert all(0 <= p.index_a < 15 and 0 <= p.index_b < 15
+                   for p in pairs)
+
+    def test_invalid_batch_size(self):
+        blocker = TokenBlocker(max_token_frequency=1.0)
+        with pytest.raises(ValueError):
+            list(blocker.iter_candidates(_catalog_records(5),
+                                         batch_size=0))
+
+    @pytest.mark.parametrize("make", _ALL_BLOCKERS)
+    def test_empty_collection(self, make):
+        assert make().candidates([]) == []
+
+
+class TestSortedNeighborhoodRegressions:
+    def test_plain_dict_missing_key_attribute(self):
+        # Regression: _key used to raise a raw KeyError on mappings
+        # without the key attribute.
+        records = [{"title": "alpha"}, {"name": "no title here"},
+                   {"title": "alpho"}]
+        pairs = SortedNeighborhoodBlocker("title",
+                                          window=2).candidates(records)
+        assert (0, 2) in _pair_set(pairs)
+
+    def test_record_missing_key_attribute(self):
+        records = [Record({"title": "alpha"}), Record({"brand": "x"}),
+                   Record({"title": "alpho"})]
+        pairs = SortedNeighborhoodBlocker("title",
+                                          window=2).candidates(records)
+        assert (0, 2) in _pair_set(pairs)
+
+    def test_none_value_treated_as_empty_key(self):
+        records = [{"title": None}, {"title": "beta"}]
+        pairs = SortedNeighborhoodBlocker("title",
+                                          window=1).candidates(records)
+        assert _pair_set(pairs) == {(0, 1)}
+
+
+class TestTfIdfBlocker:
+    def test_identical_records_are_top_neighbors(self):
+        records = _catalog_records(20)
+        doubled = records + records
+        pairs = _pair_set(TfIdfBlocker(top_k=3).candidates(doubled))
+        for i in range(20):
+            assert (i, i + 20) in pairs
+
+    def test_threshold_filters_weak_pairs(self):
+        records = _catalog_records(30)
+        loose = TfIdfBlocker(top_k=30, threshold=0.01).candidates(records)
+        tight = TfIdfBlocker(top_k=30, threshold=0.6).candidates(records)
+        assert _pair_set(tight) <= _pair_set(loose)
+        assert len(tight) < len(loose)
+
+    def test_top_k_bounds_candidate_volume(self):
+        records = _catalog_records(30)
+        few = TfIdfBlocker(top_k=1, threshold=0.0).candidates(records)
+        many = TfIdfBlocker(top_k=20, threshold=0.0).candidates(records)
+        assert len(few) <= len(many)
+        # each record keeps at most top_k neighbors (ties aside)
+        assert len(few) <= 30 * 2
+
+    def test_disjoint_vocabulary_never_paired(self):
+        records = [Record({"title": "aaa bbb"}),
+                   Record({"title": "ccc ddd"})]
+        assert TfIdfBlocker(threshold=0.0).candidates(records) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TfIdfBlocker(top_k=0)
+        with pytest.raises(ValueError):
+            TfIdfBlocker(threshold=1.5)
+
+
+class TestMinHashLSH:
+    def test_identical_records_always_candidates(self):
+        # J=1 pairs have identical shingle sets, hence identical
+        # signatures, hence a guaranteed band collision.
+        records = _catalog_records(25)
+        doubled = records + records
+        pairs = _pair_set(MinHashLSHBlocker(seed=3).candidates(doubled))
+        for i in range(25):
+            assert (i, i + 25) in pairs
+
+    def test_empty_records_never_candidates(self):
+        records = [Record({"title": ""}), Record({"title": ""}),
+                   Record({"title": "zenix camera zc300"})]
+        assert MinHashLSHBlocker().candidates(records) == []
+
+    def test_collision_probability_monotone_in_jaccard(self):
+        blocker = MinHashLSHBlocker(num_permutations=128, band_size=4)
+        grid = [i / 50 for i in range(51)]
+        curve = [blocker.collision_probability(s) for s in grid]
+        assert all(a <= b for a, b in zip(curve, curve[1:]))
+        assert curve[0] == 0.0 and curve[-1] == 1.0
+
+    def test_collision_curve_sharpens_with_band_size(self):
+        # More rows per band → the S-curve shifts right (stricter).
+        loose = MinHashLSHBlocker(num_permutations=128, band_size=2)
+        strict = MinHashLSHBlocker(num_permutations=128, band_size=8)
+        assert (loose.collision_probability(0.3)
+                > strict.collision_probability(0.3))
+
+    def test_jaccard_at_inverts_collision_probability(self):
+        blocker = MinHashLSHBlocker(num_permutations=128, band_size=4)
+        for p in (0.05, 0.5, 0.95):
+            s = blocker.jaccard_at(p)
+            assert blocker.collision_probability(s) == pytest.approx(p)
+
+    def test_signature_agreement_estimates_jaccard(self):
+        # Two token sets with known overlap: the fraction of agreeing
+        # signature rows estimates their Jaccard similarity.
+        shared = " ".join(f"tok{i}" for i in range(30))
+        extra_a = " ".join(f"aaa{i}" for i in range(10))
+        extra_b = " ".join(f"bbb{i}" for i in range(10))
+        blocker = MinHashLSHBlocker(num_permutations=512, band_size=4,
+                                    shingle_mode="token", shingle_size=1,
+                                    seed=11)
+        a = Record({"title": f"{shared} {extra_a}"})
+        b = Record({"title": f"{shared} {extra_b}"})
+        sig = blocker.signatures([a, b])
+        true_j = 30 / 50
+        estimate = blocker.estimate_jaccard(sig[0], sig[1])
+        assert abs(estimate - true_j) < 0.1
+
+    def test_candidates_superset_of_high_jaccard_pairs(self):
+        # Every pair above the Jaccard level where the (b, r) curve
+        # clears 0.9999 must be a candidate (seeded, so deterministic).
+        # Two lightly-noised views of each entity guarantee pairs above
+        # the floor exist.
+        rng = np.random.default_rng(5)
+        profile = NoiseProfile(p_synonym=0.05, p_typo=0.01,
+                               p_drop_word=0.0, p_missing_attr=0.0,
+                               p_code_drift=0.1)
+        schema = ["title", "brand", "modelno"]
+        entities = [universe.sample_product(rng) for _ in range(30)]
+        records = [universe.render_product(e, schema, profile, rng)
+                   for e in entities for _ in range(2)]
+        blocker = MinHashLSHBlocker(num_permutations=128, band_size=4,
+                                    seed=0)
+        shingles = [blocker.shingles(r) for r in records]
+        floor = blocker.jaccard_at(0.9999)
+        required = set()
+        for i in range(len(records)):
+            for j in range(i + 1, len(records)):
+                union = len(shingles[i] | shingles[j])
+                if union and len(shingles[i] & shingles[j]) / union >= floor:
+                    required.add((i, j))
+        assert required  # the check must not be vacuous
+        assert required <= _pair_set(blocker.candidates(records))
+
+    def test_mega_bucket_guard_caps_blowup(self):
+        records = [Record({"title": "identical product listing"})
+                   for _ in range(40)]
+        guarded = MinHashLSHBlocker(max_bucket_size=10, seed=0)
+        assert guarded.candidates(records) == []
+
+    def test_token_shingle_mode(self):
+        records = _catalog_records(20)
+        pairs = MinHashLSHBlocker(shingle_mode="token", shingle_size=2,
+                                  seed=0).candidates(records + records)
+        assert (0, 20) in _pair_set(pairs)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MinHashLSHBlocker(num_permutations=10, band_size=3)
+        with pytest.raises(ValueError):
+            MinHashLSHBlocker(shingle_mode="byte")
+        with pytest.raises(ValueError):
+            MinHashLSHBlocker(shingle_size=0)
+        with pytest.raises(ValueError):
+            MinHashLSHBlocker(max_bucket_size=1)
+        blocker = MinHashLSHBlocker()
+        with pytest.raises(ValueError):
+            blocker.collision_probability(1.5)
+        with pytest.raises(ValueError):
+            blocker.jaccard_at(0.0)
+
+
+_titles = st.lists(
+    st.text(alphabet="ab 12", min_size=0, max_size=12),
+    min_size=0, max_size=12)
+
+
+def _to_records(titles):
+    return [Record({"title": t}) for t in titles]
+
+
+class TestBlockerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(titles=_titles)
+    def test_token_blocker_deterministic(self, titles):
+        records = _to_records(titles)
+        blocker = TokenBlocker(max_token_frequency=1.0)
+        assert blocker.candidates(records) == blocker.candidates(records)
+
+    @settings(max_examples=40, deadline=None)
+    @given(titles=_titles)
+    def test_tfidf_blocker_deterministic(self, titles):
+        records = _to_records(titles)
+        blocker = TfIdfBlocker(top_k=3, threshold=0.05)
+        assert blocker.candidates(records) == blocker.candidates(records)
+
+    @settings(max_examples=40, deadline=None)
+    @given(titles=_titles)
+    def test_minhash_blocker_deterministic(self, titles):
+        records = _to_records(titles)
+        blocker = MinHashLSHBlocker(num_permutations=16, band_size=2,
+                                    seed=4)
+        assert blocker.candidates(records) == blocker.candidates(records)
+
+    @settings(max_examples=30, deadline=None)
+    @given(titles=_titles, seed=st.integers(0, 2 ** 16))
+    def test_token_blocker_permutation_invariant(self, titles, seed):
+        self._assert_permutation_invariant(
+            TokenBlocker(max_token_frequency=1.0), titles, seed)
+
+    @settings(max_examples=30, deadline=None)
+    @given(titles=_titles, seed=st.integers(0, 2 ** 16))
+    def test_tfidf_blocker_permutation_invariant(self, titles, seed):
+        self._assert_permutation_invariant(
+            TfIdfBlocker(top_k=3, threshold=0.05), titles, seed)
+
+    @settings(max_examples=30, deadline=None)
+    @given(titles=_titles, seed=st.integers(0, 2 ** 16))
+    def test_minhash_blocker_permutation_invariant(self, titles, seed):
+        self._assert_permutation_invariant(
+            MinHashLSHBlocker(num_permutations=16, band_size=2, seed=4),
+            titles, seed)
+
+    @staticmethod
+    def _assert_permutation_invariant(blocker, titles, seed):
+        # Candidate sets must agree up to index relabeling under any
+        # shuffle of the input records.  (SortedNeighborhoodBlocker is
+        # deliberately excluded: equal sort keys are windowed in input
+        # order, so it only promises determinism, not invariance.)
+        records = _to_records(titles)
+        base = {(min(p.index_a, p.index_b), max(p.index_a, p.index_b))
+                for p in blocker.candidates(records)}
+        order = list(np.random.default_rng(seed).permutation(len(records)))
+        shuffled = [records[i] for i in order]
+        relabeled = set()
+        for p in blocker.candidates(shuffled):
+            i, j = order[p.index_a], order[p.index_b]
+            relabeled.add((min(i, j), max(i, j)))
+        assert relabeled == base
+
+
+class TestEvaluateBlockingProperties:
+    def test_empty_cross_product_reduction_is_one(self):
+        # Regression: an empty cross product used to report RR 0.0.
+        quality = evaluate_blocking([], set(), 0, 0)
+        assert quality.reduction_ratio == 1.0
+        assert quality.pairs_completeness == 1.0
+        assert quality.num_candidates == 0
+
+    def test_single_record_self_join_reduction_is_one(self):
+        assert evaluate_blocking([], set(), 1).reduction_ratio == 1.0
+
+    def test_self_join_cross_product(self):
+        pairs = [CandidatePair(0, 1)]
+        quality = evaluate_blocking(pairs, {(0, 1)}, 5)
+        assert quality.reduction_ratio == 1.0 - 1 / 10
+        assert quality.pairs_completeness == 1.0
+
+    def test_duplicate_candidates_counted_once(self):
+        pairs = [CandidatePair(0, 1), CandidatePair(0, 1)]
+        assert evaluate_blocking(pairs, set(), 5).num_candidates == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        candidates=st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)),
+            max_size=40),
+        matches=st.sets(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)),
+            max_size=20),
+        size_a=st.integers(0, 25),
+        size_b=st.one_of(st.none(), st.integers(0, 25)))
+    def test_metrics_always_in_range(self, candidates, matches,
+                                     size_a, size_b):
+        quality = evaluate_blocking(
+            [CandidatePair(a, b) for a, b in candidates],
+            matches, size_a, size_b)
+        assert 0.0 <= quality.pairs_completeness <= 1.0
+        assert 0.0 <= quality.reduction_ratio <= 1.0
+        assert quality.num_candidates >= 0

@@ -55,6 +55,27 @@ class TestParser:
         args = build_parser().parse_args(["bench", "perf"])
         assert args.batch_size is None  # resolved per-suite at runtime
 
+    def test_bench_blocking_args(self):
+        args = build_parser().parse_args(
+            ["bench", "blocking", "--smoke", "--records", "5000"])
+        assert args.suite == "blocking"
+        assert args.smoke is True
+        assert args.records == 5000
+
+    def test_dedupe_args(self):
+        args = build_parser().parse_args(
+            ["dedupe", "--records", "500", "--blocker", "tfidf",
+             "--scorer", "blend", "--threshold", "0.6",
+             "--output", "out.json"])
+        assert args.records == 500
+        assert args.blocker == "tfidf"
+        assert args.scorer == "blend"
+        assert args.threshold == 0.6
+
+    def test_dedupe_blocker_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dedupe", "--blocker", "lsh2"])
+
     def test_table_number_validated(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table", "4"])
@@ -109,3 +130,22 @@ class TestCommands:
         from repro.data import load_dataset
         loaded = load_dataset(output)
         assert len(loaded) > 0
+
+    def test_dedupe_writes_clusters(self, tmp_path, capsys):
+        output = tmp_path / "clusters.json"
+        assert main(["dedupe", "--records", "300",
+                     "--output", str(output)]) == 0
+        assert "entities" in capsys.readouterr().out
+        from repro.dedupe import load_clusters
+        payload = load_clusters(output)
+        assert payload["num_records"] == 300
+
+    def test_bench_blocking_smoke(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_blocking.json"
+        assert main(["bench", "blocking", "--smoke",
+                     "--output", str(output)]) == 0
+        assert "report written" in capsys.readouterr().out
+        import json
+        report = json.loads(output.read_text())
+        assert report["benchmark"] == "blocking"
+        assert report["acceptance"]["enforced"] is False
